@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure at reduced grid size
+(full-fidelity sweeps live behind ``python -m repro fig3|fig4``), prints
+the rows the paper reports, and appends them to ``results/bench_*.txt`` so
+the output survives pytest's capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(filename: str, text: str) -> None:
+    """Print a result block and persist it under results/."""
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    with open(path, "a") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def clean_results():
+    """Start each benchmark session with fresh result files."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for path in RESULTS_DIR.glob("bench_*.txt"):
+        path.unlink()
+    yield

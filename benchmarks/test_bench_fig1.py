@@ -1,0 +1,56 @@
+"""Benchmark E1 — paper Fig. 1: per-operation speedup gain vs. SM count.
+
+Regenerates the isolation speedup curves for every ResNet18 operation type
+and the whole network, prints the table, and asserts the paper's anchors:
+convolution ~32x, max pooling ~14x, everything else <= 7x, ResNet18 ~23x.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_fig1_table
+from repro.dnn.ops import OpType
+from repro.dnn.resnet import build_resnet18
+from repro.speedup.measure import (
+    measure_network_speedup,
+    measure_op_speedups,
+    speedup_at,
+)
+
+
+def run_fig1():
+    graph = build_resnet18()
+    op_curves = measure_op_speedups(graph)
+    net_curve = measure_network_speedup(graph)
+    return op_curves, net_curve
+
+
+def test_fig1_speedup_gain(benchmark):
+    op_curves, net_curve = benchmark(run_fig1)
+
+    table = render_fig1_table(op_curves, net_curve)
+    emit(
+        "bench_fig1.txt",
+        "Fig. 1 - speedup gain vs SMs (isolation, simulated RTX 2080 Ti)\n"
+        + table,
+    )
+
+    conv = speedup_at(op_curves[OpType.CONV2D], 68)
+    maxpool = speedup_at(op_curves[OpType.MAXPOOL], 68)
+    network = speedup_at(net_curve, 68)
+
+    # Paper: conv reaches the best gain (32x), maxpool follows (14x),
+    # other ops fail to exceed 7x, and ResNet18 overall reaches ~23x.
+    assert conv == pytest.approx(32.0, abs=2.0)
+    assert maxpool == pytest.approx(14.0, abs=1.5)
+    for op_type, points in op_curves.items():
+        if op_type not in (OpType.CONV2D, OpType.MAXPOOL):
+            assert speedup_at(points, 68) <= 7.0
+    assert network == pytest.approx(23.0, abs=2.0)
+
+    summary = (
+        f"anchors @68 SMs: conv={conv:.1f}x (paper 32x), "
+        f"maxpool={maxpool:.1f}x (paper 14x), resnet18={network:.1f}x "
+        f"(paper 23x)"
+    )
+    emit("bench_fig1.txt", summary)

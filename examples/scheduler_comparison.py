@@ -1,0 +1,81 @@
+"""Three ways to share one GPU: sequential vs. spatial vs. SGPRS.
+
+Runs the same 20-camera, 30-fps ResNet18 workload under
+
+1. the *sequential* framework default (one context, one inference at a
+   time, whole GPU) — the paper's under-utilization motivation;
+2. the *naive* spatial partitioner (static pinning, FIFO partitions);
+3. *SGPRS* (pre-created over-subscribed pool, stages, priorities, EDF);
+
+and prints the paper's two metrics side by side.
+
+    python examples/scheduler_comparison.py
+"""
+
+from repro import (
+    RTX_2080_TI,
+    ContextPoolConfig,
+    NaiveScheduler,
+    RunConfig,
+    identical_periodic_tasks,
+    run_simulation,
+)
+from repro.core.sequential import SequentialScheduler, sequential_pool_config
+
+CAMERAS = 20
+DURATION = 4.0
+WARMUP = 1.0
+
+
+def run_sequential():
+    pool = sequential_pool_config(RTX_2080_TI)
+    tasks = identical_periodic_tasks(
+        CAMERAS, nominal_sms=pool.sms_per_context, num_stages=1
+    )
+    return run_simulation(
+        tasks,
+        RunConfig(pool=pool, scheduler=SequentialScheduler,
+                  duration=DURATION, warmup=WARMUP),
+    )
+
+
+def run_naive():
+    pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+    tasks = identical_periodic_tasks(
+        CAMERAS, nominal_sms=pool.sms_per_context, num_stages=1
+    )
+    return run_simulation(
+        tasks,
+        RunConfig(pool=pool, scheduler=NaiveScheduler,
+                  duration=DURATION, warmup=WARMUP),
+    )
+
+
+def run_sgprs():
+    pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+    tasks = identical_periodic_tasks(CAMERAS, nominal_sms=pool.sms_per_context)
+    return run_simulation(
+        tasks, RunConfig(pool=pool, duration=DURATION, warmup=WARMUP)
+    )
+
+
+def main() -> None:
+    print(f"{CAMERAS} cameras x 30 fps ResNet18 "
+          f"(demand {CAMERAS * 30} fps) on one {RTX_2080_TI.name}\n")
+    print(f"{'scheduler':>12}  {'total FPS':>10}  {'DMR':>8}  {'p99 latency':>12}")
+    for name, runner in (
+        ("sequential", run_sequential),
+        ("naive", run_naive),
+        ("SGPRS", run_sgprs),
+    ):
+        result = runner()
+        p99 = result.metrics.response_time_percentile(0.99)
+        p99_ms = f"{p99 * 1e3:.1f} ms" if p99 is not None else "-"
+        print(f"{name:>12}  {result.total_fps:>10.1f}  "
+              f"{result.dmr * 100:>7.2f}%  {p99_ms:>12}")
+    print("\nSGPRS is the only scheduler that converts the whole GPU into "
+          "deadline-compliant frames at this load.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Result analysis: pivots, capacity planning, timelines, persistence."""
+
+from repro.analysis.persistence import load_sweep, save_sweep
+from repro.analysis.pivot import find_pivot, pivot_table
+from repro.analysis.planner import (
+    CapacityPlan,
+    naive_capacity_plan,
+    sgprs_capacity_plan,
+)
+from repro.analysis.report import (
+    ascii_chart,
+    render_fig1_table,
+    render_sweep_table,
+    sweep_to_csv,
+)
+from repro.analysis.schedulability import (
+    naive_capacity_estimate,
+    utilization_bound_tasks,
+)
+from repro.analysis.timeline import (
+    KernelSpan,
+    context_occupancy,
+    extract_spans,
+    render_gantt,
+    stage_latency_breakdown,
+)
+
+__all__ = [
+    "find_pivot",
+    "pivot_table",
+    "ascii_chart",
+    "render_sweep_table",
+    "render_fig1_table",
+    "sweep_to_csv",
+    "utilization_bound_tasks",
+    "naive_capacity_estimate",
+    "CapacityPlan",
+    "sgprs_capacity_plan",
+    "naive_capacity_plan",
+    "KernelSpan",
+    "extract_spans",
+    "context_occupancy",
+    "stage_latency_breakdown",
+    "render_gantt",
+    "save_sweep",
+    "load_sweep",
+]

@@ -1,0 +1,75 @@
+"""Saving and loading sweep results as JSON.
+
+Sweeps are expensive; persisting them lets EXPERIMENTS.md, notebooks and
+regression checks reuse one run.  The format is a plain versioned JSON
+document, deliberately boring.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.workloads.scenarios import SweepPoint
+
+FORMAT_VERSION = 1
+
+
+def sweep_to_dict(sweep: Dict[str, List[SweepPoint]]) -> dict:
+    """Serialisable representation of a scenario sweep."""
+    return {
+        "version": FORMAT_VERSION,
+        "variants": {
+            variant: [
+                {
+                    "num_tasks": p.num_tasks,
+                    "total_fps": p.total_fps,
+                    "dmr": p.dmr,
+                    "utilization": p.utilization,
+                }
+                for p in points
+            ]
+            for variant, points in sweep.items()
+        },
+    }
+
+
+def sweep_from_dict(payload: dict) -> Dict[str, List[SweepPoint]]:
+    """Inverse of :func:`sweep_to_dict`.
+
+    Raises
+    ------
+    ValueError
+        On a missing or unsupported format version.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported sweep format version: {version!r}")
+    out: Dict[str, List[SweepPoint]] = {}
+    for variant, rows in payload["variants"].items():
+        out[variant] = [
+            SweepPoint(
+                variant=variant,
+                num_tasks=row["num_tasks"],
+                total_fps=row["total_fps"],
+                dmr=row["dmr"],
+                utilization=row["utilization"],
+            )
+            for row in rows
+        ]
+    return out
+
+
+def save_sweep(
+    sweep: Dict[str, List[SweepPoint]], path: Union[str, Path]
+) -> None:
+    """Write a sweep to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(sweep_to_dict(sweep), handle, indent=1)
+
+
+def load_sweep(path: Union[str, Path]) -> Dict[str, List[SweepPoint]]:
+    """Read a sweep from a JSON file."""
+    with open(path) as handle:
+        return sweep_from_dict(json.load(handle))

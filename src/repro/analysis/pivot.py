@@ -1,0 +1,48 @@
+"""Pivot-point detection.
+
+The paper defines the **pivot point** as "the largest number of tasks that
+the scheduler can handle without deadline misses" (Section V).  Because a
+long but finite simulation may record a handful of boundary misses right at
+capacity, the detector accepts a small tolerance (default: strictly zero,
+matching the paper's definition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.workloads.scenarios import SweepPoint
+
+
+def find_pivot(
+    points: Sequence[SweepPoint], dmr_tolerance: float = 0.0
+) -> Optional[int]:
+    """Largest task count whose DMR does not exceed ``dmr_tolerance``.
+
+    ``points`` must belong to a single variant.  Returns ``None`` when even
+    the smallest measured task count misses deadlines.
+
+    The scan walks task counts in increasing order and stops at the first
+    point that misses; isolated zero-DMR points beyond an overloaded region
+    (which can appear as simulation noise) do not extend the pivot.
+    """
+    if dmr_tolerance < 0:
+        raise ValueError(f"dmr_tolerance must be >= 0, got {dmr_tolerance}")
+    ordered = sorted(points, key=lambda p: p.num_tasks)
+    pivot: Optional[int] = None
+    for point in ordered:
+        if point.dmr <= dmr_tolerance:
+            pivot = point.num_tasks
+        else:
+            break
+    return pivot
+
+
+def pivot_table(
+    sweep: Dict[str, List[SweepPoint]], dmr_tolerance: float = 0.0
+) -> Dict[str, Optional[int]]:
+    """Pivot point per variant for a full scenario sweep."""
+    return {
+        variant: find_pivot(points, dmr_tolerance)
+        for variant, points in sweep.items()
+    }

@@ -1,0 +1,128 @@
+"""Offline capacity planning: predict the pivot point before simulating.
+
+Deployment question the paper's evaluation answers empirically: *how many
+cameras fit?*  This module answers it analytically from the offline-phase
+artifacts (stage WCETs and composite curves), so a deployer can size a
+context pool without running sweeps.  The benchmark suite cross-checks the
+prediction against the simulated pivots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.task import TaskSpec
+from repro.gpu.allocator import AllocationParams
+from repro.gpu.spec import GpuDeviceSpec
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Predicted capacity of one pool for one task type.
+
+    Attributes
+    ----------
+    throughput_jobs_per_second:
+        Sustainable completion rate at saturation.
+    pivot_tasks:
+        Predicted largest task count with zero deadline misses.
+    bound:
+        Which resource binds: ``"aggregate"`` (DRAM/L2 ceiling),
+        ``"width"`` (SM width at the pool's concurrency), or
+        ``"latency"`` (per-job latency exceeds the deadline first).
+    """
+
+    throughput_jobs_per_second: float
+    pivot_tasks: int
+    bound: str
+
+
+def sgprs_capacity_plan(
+    task: TaskSpec,
+    pool: ContextPoolConfig,
+    spec: GpuDeviceSpec,
+    params: Optional[AllocationParams] = None,
+) -> CapacityPlan:
+    """Predict SGPRS capacity for identical periodic copies of ``task``.
+
+    Model (mirrors the allocator, DESIGN.md section 4): at saturation every
+    context holds ``spec.streams_per_context`` resident stages.  Each
+    receives an equal share of the physical SMs (after proportional
+    scaling), progresses at the stage-averaged composite speedup, and the
+    aggregate is limited by both that width-derived rate and the device
+    ceiling, degraded by the over-subscription contention penalty.
+    """
+    params = params or AllocationParams()
+    kernels_resident = pool.num_contexts * spec.streams_per_context
+    share = min(
+        pool.sms_per_context / spec.streams_per_context,
+        spec.total_sms / kernels_resident,
+    )
+    # Work-weighted mean composite speedup across the task's stages.
+    total_work = sum(stage.composite.base_time for stage in task.stages)
+    mean_rate = sum(
+        stage.composite.base_time * stage.composite.speedup(share)
+        for stage in task.stages
+    ) / total_work
+    colocation = 1.0 / (1.0 + params.beta * (spec.streams_per_context - 1))
+    width_rate = kernels_resident * mean_rate * colocation
+
+    pressure = pool.total_nominal_sms / spec.total_sms
+    contention = 1.0
+    if pressure > 1.0:
+        contention = 1.0 / (1.0 + params.alpha * (pressure - 1.0))
+
+    if width_rate <= spec.aggregate_speedup_cap:
+        aggregate = width_rate * contention
+        bound = "width"
+    else:
+        aggregate = spec.aggregate_speedup_cap * contention
+        bound = "aggregate"
+
+    throughput = aggregate / total_work
+    pivot = int(throughput / task.fps)
+
+    # Latency check: a lone job must clear its deadline even at saturation
+    # shares; otherwise the pivot is latency-bound earlier.
+    job_latency = sum(
+        stage.composite.time_at(max(share, 1.0)) for stage in task.stages
+    )
+    if job_latency > task.relative_deadline:
+        bound = "latency"
+        pivot = 0
+
+    return CapacityPlan(
+        throughput_jobs_per_second=throughput,
+        pivot_tasks=pivot,
+        bound=bound,
+    )
+
+
+def naive_capacity_plan(
+    task: TaskSpec,
+    pool: ContextPoolConfig,
+    switch_overhead: float = 1.0e-4,
+) -> CapacityPlan:
+    """Predict naive-scheduler capacity (whole jobs, FIFO per partition).
+
+    The pivot is additionally limited by FIFO waiting time: a job may wait
+    behind one job of every other task pinned to its partition, so the
+    pivot cannot exceed ``np * floor(D / C)`` tasks.
+    """
+    if not task.stages:
+        raise ValueError("task has no stages; run the offline phase first")
+    whole = sum(stage.composite.base_time for stage in task.stages)
+    service = (
+        sum(stage.composite.time_at(pool.sms_per_context) for stage in task.stages)
+        + switch_overhead
+    )
+    throughput = pool.num_contexts / service
+    throughput_pivot = int(throughput / task.fps)
+    wait_pivot = pool.num_contexts * int(task.relative_deadline / service)
+    return CapacityPlan(
+        throughput_jobs_per_second=throughput,
+        pivot_tasks=min(throughput_pivot, wait_pivot),
+        bound="latency" if wait_pivot < throughput_pivot else "width",
+    )

@@ -1,0 +1,135 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper plots; these
+helpers keep the formatting in one place and export CSV for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.dnn.ops import OpType
+from repro.workloads.scenarios import SweepPoint
+
+
+def render_fig1_table(
+    op_curves: Mapping[OpType, Sequence[Tuple[int, float]]],
+    network_curve: Sequence[Tuple[int, float]],
+    network_name: str = "resnet18",
+) -> str:
+    """Fig. 1 as text: one row per SM count, one column per operation."""
+    op_types = list(op_curves)
+    sms_axis = [sms for sms, _ in network_curve]
+    header = ["SMs"] + [str(t) for t in op_types] + [network_name]
+    rows: List[List[str]] = []
+    lookup = {
+        op_type: dict(points) for op_type, points in op_curves.items()
+    }
+    net_lookup = dict(network_curve)
+    for sms in sms_axis:
+        row = [str(sms)]
+        for op_type in op_types:
+            value = lookup[op_type].get(sms)
+            row.append(f"{value:.2f}" if value is not None else "-")
+        row.append(f"{net_lookup[sms]:.2f}")
+        rows.append(row)
+    return _format_table(header, rows)
+
+
+def render_sweep_table(
+    sweep: Dict[str, List[SweepPoint]],
+    metric: str = "total_fps",
+    title: str = "",
+) -> str:
+    """Figs. 3/4 as text: task count rows, scheduler-variant columns."""
+    if metric not in ("total_fps", "dmr"):
+        raise ValueError(f"metric must be 'total_fps' or 'dmr', got {metric!r}")
+    variants = list(sweep)
+    counts = sorted({p.num_tasks for points in sweep.values() for p in points})
+    lookup = {
+        variant: {p.num_tasks: p for p in points}
+        for variant, points in sweep.items()
+    }
+    header = ["tasks"] + variants
+    rows: List[List[str]] = []
+    for count in counts:
+        row = [str(count)]
+        for variant in variants:
+            point = lookup[variant].get(count)
+            if point is None:
+                row.append("-")
+            elif metric == "total_fps":
+                row.append(f"{point.total_fps:.1f}")
+            else:
+                row.append(f"{point.dmr * 100:.1f}%")
+        rows.append(row)
+    table = _format_table(header, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def sweep_to_csv(sweep: Dict[str, List[SweepPoint]]) -> str:
+    """CSV export: variant,num_tasks,total_fps,dmr,utilization."""
+    out = io.StringIO()
+    out.write("variant,num_tasks,total_fps,dmr,utilization\n")
+    for variant, points in sweep.items():
+        for p in sorted(points, key=lambda q: q.num_tasks):
+            out.write(
+                f"{variant},{p.num_tasks},{p.total_fps:.3f},"
+                f"{p.dmr:.5f},{p.utilization:.4f}\n"
+            )
+    return out.getvalue()
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Minimal ASCII line chart for terminal-rendered figures.
+
+    Each series is plotted with its own marker; axes are linearly scaled to
+    the data envelope.
+    """
+    markers = "ox+*#@%&"
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [title] if title else []
+    lines.append(f"{y_max:10.1f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.1f} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<10.1f}" + " " * (width - 20) + f"{x_max:>10.1f}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def _format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

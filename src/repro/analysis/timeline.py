@@ -1,0 +1,153 @@
+"""Execution-timeline analysis from traces.
+
+Turns a :class:`~repro.sim.trace.TraceRecorder` produced by a run with
+``record_trace=True`` into per-context occupancy statistics, per-stage
+latency breakdowns, and a text Gantt chart — the tools one actually uses
+to debug why a task set misses deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class KernelSpan:
+    """One stage execution interval on a context."""
+
+    label: str
+    context_id: int
+    start: float
+    end: float
+    priority: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall time the stage occupied its stream."""
+        return self.end - self.start
+
+
+def extract_spans(trace: TraceRecorder) -> List[KernelSpan]:
+    """Pair ``kernel_start``/``kernel_done`` records into spans.
+
+    Kernels still resident when the trace ends (no ``kernel_done``) are
+    dropped; aborted kernels never produce a ``kernel_done`` and are
+    likewise dropped.
+    """
+    open_starts: Dict[str, Tuple[float, int, Optional[str]]] = {}
+    spans: List[KernelSpan] = []
+    for record in trace:
+        if record.kind == "kernel_start":
+            open_starts[record.get("kernel")] = (
+                record.time,
+                record.get("context"),
+                record.get("priority"),
+            )
+        elif record.kind == "kernel_done":
+            label = record.get("kernel")
+            started = open_starts.pop(label, None)
+            if started is not None:
+                start, context_id, priority = started
+                spans.append(
+                    KernelSpan(
+                        label=label,
+                        context_id=context_id,
+                        start=start,
+                        end=record.time,
+                        priority=priority,
+                    )
+                )
+    return spans
+
+
+def context_occupancy(
+    spans: List[KernelSpan], horizon: float
+) -> Dict[int, float]:
+    """Mean resident-kernel count per context over ``[0, horizon]``.
+
+    A value of 4.0 means the context's four streams were busy the whole
+    time; values are not clipped so modelling errors (more than four
+    concurrent spans) would show up in tests.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    busy: Dict[int, float] = {}
+    for span in spans:
+        overlap = min(span.end, horizon) - min(span.start, horizon)
+        busy[span.context_id] = busy.get(span.context_id, 0.0) + max(overlap, 0.0)
+    return {context: total / horizon for context, total in busy.items()}
+
+
+def stage_latency_breakdown(
+    trace: TraceRecorder,
+) -> Dict[int, Tuple[float, float]]:
+    """Per stage index: (mean queueing delay, mean execution time).
+
+    Queueing delay is release -> kernel start; execution is start -> done.
+    Keyed by the stage's index parsed from labels of the form
+    ``task/jN/sK``.
+    """
+    released: Dict[str, float] = {}
+    started: Dict[str, float] = {}
+    sums: Dict[int, List[float]] = {}
+    for record in trace:
+        if record.kind == "stage_release":
+            released[record.get("stage")] = record.time
+        elif record.kind == "kernel_start":
+            started[record.get("kernel")] = record.time
+        elif record.kind == "kernel_done":
+            label = record.get("kernel")
+            if label in released and label in started:
+                index = int(label.rsplit("/s", 1)[1])
+                bucket = sums.setdefault(index, [0.0, 0.0, 0.0])
+                bucket[0] += started[label] - released[label]
+                bucket[1] += record.time - started[label]
+                bucket[2] += 1.0
+    return {
+        index: (queueing / count, execution / count)
+        for index, (queueing, execution, count) in sums.items()
+        if count > 0
+    }
+
+
+def render_gantt(
+    spans: List[KernelSpan],
+    start: float,
+    end: float,
+    width: int = 80,
+) -> str:
+    """Text Gantt chart: one row per context, one column per time bucket.
+
+    Cell characters count the spans *touching* each bucket: space for 0,
+    digits 1-9, ``+`` above nine.  With buckets wider than a stage's
+    runtime the count includes sequential stages, so it is an activity
+    density, not an instantaneous concurrency level.
+    """
+    if end <= start:
+        raise ValueError("end must exceed start")
+    contexts = sorted({span.context_id for span in spans})
+    bucket = (end - start) / width
+    lines = [f"gantt [{start:.3f}s .. {end:.3f}s], {bucket * 1e3:.2f} ms/col"]
+    for context_id in contexts:
+        row = []
+        for column in range(width):
+            t0 = start + column * bucket
+            t1 = t0 + bucket
+            count = sum(
+                1
+                for span in spans
+                if span.context_id == context_id
+                and span.start < t1
+                and span.end > t0
+            )
+            if count == 0:
+                row.append(" ")
+            elif count <= 9:
+                row.append(str(count))
+            else:
+                row.append("+")
+        lines.append(f"ctx{context_id} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Command-line interface: regenerate the paper's figures from a terminal.
+
+Usage::
+
+    python -m repro fig1                 # per-operation speedup table
+    python -m repro fig3 [--fast]        # scenario 1 (2 contexts) sweep
+    python -m repro fig4 [--fast]        # scenario 2 (3 contexts) sweep
+    python -m repro all  [--fast]        # everything
+    python -m repro fig3 --csv out.csv   # also export the sweep as CSV
+
+``--fast`` shrinks the task grid and simulation horizon for a quick look;
+the benchmark harness under ``benchmarks/`` runs the full-fidelity version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.pivot import pivot_table
+from repro.analysis.report import (
+    ascii_chart,
+    render_fig1_table,
+    render_sweep_table,
+    sweep_to_csv,
+)
+from repro.dnn.resnet import build_resnet18
+from repro.speedup.measure import measure_network_speedup, measure_op_speedups
+from repro.workloads.scenarios import (
+    SCENARIO_1,
+    SCENARIO_2,
+    Scenario,
+    run_scenario_sweep,
+)
+
+#: Task grid of the full sweeps (the paper sweeps to ~30 tasks).
+FULL_TASK_COUNTS = tuple(range(2, 31, 2)) + (23, 25, 27, 29)
+FAST_TASK_COUNTS = (4, 8, 12, 16, 20, 24, 28)
+
+
+def _fig1(args: argparse.Namespace) -> None:
+    graph = build_resnet18()
+    op_curves = measure_op_speedups(graph)
+    net_curve = measure_network_speedup(graph)
+    print("Fig. 1 — speedup gain vs. SMs (isolation, simulated RTX 2080 Ti)")
+    print(render_fig1_table(op_curves, net_curve))
+    chart = ascii_chart(
+        {str(t): [(float(s), v) for s, v in pts] for t, pts in op_curves.items()},
+        title="speedup vs SMs",
+    )
+    print()
+    print(chart)
+
+
+def _scenario(
+    scenario: Scenario, figure: str, args: argparse.Namespace
+) -> None:
+    counts = FAST_TASK_COUNTS if args.fast else FULL_TASK_COUNTS
+    duration = 2.5 if args.fast else 6.0
+    warmup = 1.0 if args.fast else 1.5
+    sweep = run_scenario_sweep(
+        scenario, sorted(counts), duration=duration, warmup=warmup
+    )
+    print(
+        f"{figure}a — total FPS, {scenario.name} "
+        f"({scenario.num_contexts} contexts)"
+    )
+    print(render_sweep_table(sweep, metric="total_fps"))
+    print()
+    print(f"{figure}b — deadline miss rate, {scenario.name}")
+    print(render_sweep_table(sweep, metric="dmr"))
+    print()
+    print("pivot points (largest task count with zero misses):")
+    for variant, pivot in pivot_table(sweep).items():
+        print(f"  {variant}: {pivot}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(sweep_to_csv(sweep))
+        print(f"CSV written to {args.csv}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="sgprs",
+        description="Regenerate the SGPRS paper's figures on the simulator.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=["fig1", "fig3", "fig4", "all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller grid and shorter horizon for a quick look",
+    )
+    parser.add_argument(
+        "--csv",
+        default=None,
+        help="also write the sweep data to this CSV file",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.figure in ("fig1", "all"):
+        _fig1(args)
+    if args.figure in ("fig3", "all"):
+        _scenario(SCENARIO_1, "Fig. 3", args)
+    if args.figure in ("fig4", "all"):
+        _scenario(SCENARIO_2, "Fig. 4", args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""SGPRS core: the paper's primary contribution.
+
+Task model (Section II), offline phase (Section IV-A: WCET measurement,
+virtual deadlines, two-level priorities), online phase (Section IV-B:
+absolute deadlines, context assignment, stage queuing), plus the naive
+spatial-partitioning baseline the evaluation compares against.
+"""
+
+from repro.core.context_pool import ContextPoolConfig, build_contexts
+from repro.core.deadlines import (
+    absolute_stage_deadlines,
+    assign_virtual_deadlines,
+)
+from repro.core.naive import NaiveScheduler
+from repro.core.priority import initial_priority, promote_if_predecessor_missed
+from repro.core.profiling import profile_stage_wcets, prepare_task
+from repro.core.runner import RunConfig, RunResult, run_simulation
+from repro.core.scheduler import JobInstance, SchedulerBase, StageInstance
+from repro.core.sequential import SequentialScheduler
+from repro.core.sgprs import SgprsScheduler
+from repro.core.task import StageSpec, TaskSpec, TaskSet
+
+__all__ = [
+    "StageSpec",
+    "TaskSpec",
+    "TaskSet",
+    "assign_virtual_deadlines",
+    "absolute_stage_deadlines",
+    "initial_priority",
+    "promote_if_predecessor_missed",
+    "profile_stage_wcets",
+    "prepare_task",
+    "ContextPoolConfig",
+    "build_contexts",
+    "SchedulerBase",
+    "JobInstance",
+    "StageInstance",
+    "SgprsScheduler",
+    "SequentialScheduler",
+    "NaiveScheduler",
+    "RunConfig",
+    "RunResult",
+    "run_simulation",
+]

@@ -1,0 +1,85 @@
+"""The naive baseline: pure spatial partitioning (paper Section V).
+
+"A simple spatial partitioning scheduler that lacks the context switch and
+temporal partitioning features":
+
+* tasks are **statically pinned** to contexts (round-robin at admission);
+* each job runs as **one monolithic kernel** (no stage division) and a
+  context serves **one job at a time** in release order — no concurrent
+  streams, no priorities, no EDF (single-stream contexts enforce this);
+* every switch between different tasks' jobs pays a **partition
+  reconfiguration latency** (:class:`repro.gpu.mps.SpatialReconfig`),
+  because the partition must be re-targeted at the incoming task's state —
+  this is exactly the cost SGPRS' pre-created pool avoids;
+* overload makes every admitted job wait behind all other tasks pinned to
+  its partition, so waiting times blow past the deadline for *all* jobs
+  soon after the pivot — the paper's "domino effect of deadline misses".
+
+Build its single-stage tasks with ``num_stages=1`` in
+:func:`repro.core.profiling.prepare_task` (the workload generators do this)
+and single-stream contexts via
+:func:`build_naive_contexts`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.scheduler import SchedulerBase
+from repro.gpu.context import SimContext
+from repro.gpu.kernel import StageKernel
+from repro.gpu.mps import SpatialReconfig
+from repro.gpu.spec import GpuDeviceSpec
+
+
+def build_naive_contexts(
+    config: ContextPoolConfig, spec: GpuDeviceSpec
+) -> list:
+    """Single-stream contexts: one job at a time, no temporal partitioning.
+
+    Borrowing is enabled because with a single stream it cannot add any
+    concurrency — it merely lets the one stream serve jobs regardless of
+    their nominal priority level.
+    """
+    return [
+        SimContext(
+            context_id=index,
+            nominal_sms=config.sms_per_context,
+            high_streams=0,
+            low_streams=1,
+            allow_stream_borrowing=True,
+        )
+        for index in range(config.num_contexts)
+    ]
+
+
+class NaiveScheduler(SchedulerBase):
+    """Static spatial partitioning with FIFO per-partition service."""
+
+    name = "naive"
+
+    def __init__(self, *args, **kwargs) -> None:
+        if "reconfig" not in kwargs or kwargs["reconfig"] is None:
+            kwargs["reconfig"] = SpatialReconfig()
+        super().__init__(*args, **kwargs)
+        self._pinned: Dict[str, SimContext] = {}
+        self._pin_tasks()
+
+    def _pin_tasks(self) -> None:
+        """Round-robin static task-to-partition assignment."""
+        contexts = self.device.contexts
+        for index, task in enumerate(self.task_set):
+            context = contexts[index % len(contexts)]
+            self._pinned[task.name] = context
+            if isinstance(self.reconfig, SpatialReconfig):
+                self.reconfig.register_task(context, task.name)
+
+    def pinned_context(self, task_name: str) -> SimContext:
+        """The partition a task was admitted to."""
+        return self._pinned[task_name]
+
+    def select_context(self, kernel: StageKernel) -> SimContext:
+        """Static mapping: the job runs where its task is pinned."""
+        stage = kernel.payload
+        return self._pinned[stage.job.task.name]

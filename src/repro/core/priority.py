@@ -1,0 +1,46 @@
+"""Two-level priority assignment and the medium promotion rule.
+
+Offline (Section IV-A1): the *last* stage of each task is HIGH priority,
+all earlier stages LOW — finishing jobs that are almost done "helps to meet
+more deadlines".
+
+Online (Section IV-B3): a LOW stage whose *preceding stage missed its
+(virtual) deadline* is promoted to MEDIUM, giving jobs that are already
+running late a boost without letting them displace the HIGH final stages.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.kernel import PriorityLevel
+
+
+def initial_priority(stage_index: int, num_stages: int) -> PriorityLevel:
+    """Offline two-level assignment: last stage HIGH, the rest LOW.
+
+    Raises
+    ------
+    ValueError
+        If the index is out of range.
+    """
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    if not 0 <= stage_index < num_stages:
+        raise ValueError(
+            f"stage_index {stage_index} out of range for {num_stages} stages"
+        )
+    if stage_index == num_stages - 1:
+        return PriorityLevel.HIGH
+    return PriorityLevel.LOW
+
+
+def promote_if_predecessor_missed(
+    priority: PriorityLevel, predecessor_missed: bool
+) -> PriorityLevel:
+    """Apply the online MEDIUM promotion rule.
+
+    Only LOW stages are promoted; HIGH stages stay HIGH, and an already
+    promoted MEDIUM stage stays MEDIUM.
+    """
+    if predecessor_missed and priority is PriorityLevel.LOW:
+        return PriorityLevel.MEDIUM
+    return priority

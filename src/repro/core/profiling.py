@@ -1,0 +1,146 @@
+"""Offline WCET measurement (Section IV-A2).
+
+"The WCETs of each task and its stages are measured offline."  Here the
+measurement runs against the simulator's cost model: a stage's WCET at a
+partition of ``sm`` SMs is its composite wall time at that share, padded by
+a safety margin for measurement noise (the paper measures on hardware where
+run-to-run variance exists; the margin keeps virtual deadlines conservative
+the same way a maximum over repeated runs would).
+
+:func:`measure_stage_wcet_simulated` cross-checks the analytic number by
+actually executing an isolated stage kernel on a one-context device; tests
+assert both paths agree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.deadlines import apply_virtual_deadlines
+from repro.core.task import StageSpec, TaskSpec
+from repro.dnn.graph import LayerGraph
+from repro.dnn.stages import StagePlan, partition_into_stages
+from repro.gpu.allocator import AllocationParams
+from repro.gpu.context import SimContext
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import PriorityLevel, StageKernel
+from repro.gpu.spec import GpuDeviceSpec
+from repro.sim.engine import SimulationEngine
+from repro.speedup.calibration import DEFAULT_CALIBRATION, DeviceCalibration
+from repro.speedup.composite import CompositeWorkload, composite_for_ops
+
+#: Default multiplicative safety margin on measured execution times.
+WCET_MARGIN = 1.05
+
+#: Fraction of peak speedup that defines a stage's useful width.
+WIDTH_DEMAND_FRACTION = 0.9
+
+
+def profile_stage_wcets(
+    composites: Sequence[CompositeWorkload],
+    sms: float,
+    margin: float = WCET_MARGIN,
+) -> List[float]:
+    """WCET of each stage at a partition of ``sms`` SMs (``C_i^j``)."""
+    if sms <= 0:
+        raise ValueError(f"sms must be positive, got {sms}")
+    if margin < 1.0:
+        raise ValueError(f"margin must be >= 1, got {margin}")
+    return [margin * composite.time_at(sms) for composite in composites]
+
+
+def prepare_task(
+    name: str,
+    graph: LayerGraph,
+    period: float,
+    num_stages: int,
+    nominal_sms: float,
+    relative_deadline: Optional[float] = None,
+    release_offset: float = 0.0,
+    calibration: DeviceCalibration = DEFAULT_CALIBRATION,
+    margin: float = WCET_MARGIN,
+) -> TaskSpec:
+    """Run the complete offline phase for one task.
+
+    Partitions the network into balanced stages, measures per-stage WCETs at
+    the nominal partition size, and assigns proportional virtual deadlines
+    (Section IV-A).  The returned task is ready for online scheduling.
+
+    Parameters
+    ----------
+    name:
+        Task name (unique within a task set).
+    graph:
+        The task's network.
+    period:
+        Release period (seconds).
+    num_stages:
+        How many stages to divide the network into (the paper uses 6).
+    nominal_sms:
+        Partition size WCETs are measured at (the pool's per-context SMs).
+    relative_deadline:
+        ``D_i``; defaults to the period (implicit deadline).
+    """
+    deadline = period if relative_deadline is None else relative_deadline
+    plan: StagePlan = partition_into_stages(graph, num_stages)
+    composites = [
+        composite_for_ops(f"{name}/stage{i}", stage_ops, calibration)
+        for i, stage_ops in enumerate(plan.stages)
+    ]
+    wcets = profile_stage_wcets(composites, nominal_sms, margin)
+    task = TaskSpec(
+        name=name,
+        graph=graph,
+        period=period,
+        relative_deadline=deadline,
+        release_offset=release_offset,
+    )
+    total_sms = float(calibration.total_sms)
+    for index, (composite, wcet) in enumerate(zip(composites, wcets)):
+        task.stages.append(
+            StageSpec(
+                index=index,
+                name=composite.name,
+                composite=composite,
+                wcet=wcet,
+                width_demand=composite.width_demand(total_sms, WIDTH_DEMAND_FRACTION),
+            )
+        )
+    apply_virtual_deadlines(task)
+    task.validate()
+    return task
+
+
+def measure_stage_wcet_simulated(
+    composite: CompositeWorkload,
+    sms: float,
+    spec: Optional[GpuDeviceSpec] = None,
+) -> float:
+    """Measure a stage's isolated runtime by executing it on the simulator.
+
+    Builds a one-context device of exactly ``sms`` SMs, runs a single stage
+    kernel to completion, and returns the elapsed simulated time.  Used to
+    validate that the analytic WCET (:func:`profile_stage_wcets` without
+    margin) matches what the execution engine actually produces.
+    """
+    spec = spec or GpuDeviceSpec()
+    engine = SimulationEngine()
+    context = SimContext(0, nominal_sms=sms)
+    device = GpuDevice(
+        engine, spec, [context], AllocationParams(alpha=0.0, beta=0.0)
+    )
+    finished: List[float] = []
+    device.on_kernel_complete = lambda kernel: finished.append(engine.now)
+    kernel = StageKernel(
+        label=f"profile:{composite.name}",
+        curve=composite,
+        work=composite.total_work + composite.overhead,
+        width_demand=max(1.0, composite.width_demand(float(spec.total_sms))),
+        deadline=float("inf"),
+        priority=PriorityLevel.HIGH,
+    )
+    device.submit(kernel, context)
+    engine.run()
+    if not finished:
+        raise RuntimeError(f"stage {composite.name!r} never completed")
+    return finished[0]

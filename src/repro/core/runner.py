@@ -1,0 +1,139 @@
+"""One-call simulation runs: assemble engine, device, scheduler; run; report.
+
+This is the layer the examples, benchmarks and sweep harness build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Type
+
+from repro.core.context_pool import ContextPoolConfig, build_contexts
+from repro.core.naive import NaiveScheduler, build_naive_contexts
+from repro.core.scheduler import SchedulerBase
+from repro.core.sequential import SequentialScheduler, build_sequential_context
+from repro.core.sgprs import SgprsScheduler
+from repro.core.task import TaskSet
+from repro.gpu.allocator import AllocationParams
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import RTX_2080_TI, GpuDeviceSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsCollector
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class RunConfig:
+    """Configuration of one simulation run.
+
+    Attributes
+    ----------
+    pool:
+        Context pool sizing.
+    scheduler:
+        Scheduler class (``SgprsScheduler`` or ``NaiveScheduler``).
+    duration:
+        Simulated seconds.
+    warmup:
+        Seconds excluded from steady-state metrics.
+    spec:
+        Device architecture (defaults to the paper's RTX 2080 Ti).
+    allocation:
+        Allocation model constants.
+    record_trace:
+        Whether to keep a full execution trace (large runs disable it).
+    work_jitter_cv / seed:
+        Per-stage execution-time jitter (see
+        :class:`repro.core.scheduler.SchedulerBase`) and its seed.
+    """
+
+    pool: ContextPoolConfig
+    scheduler: Type[SchedulerBase] = SgprsScheduler
+    duration: float = 10.0
+    warmup: float = 2.0
+    spec: GpuDeviceSpec = RTX_2080_TI
+    allocation: AllocationParams = field(default_factory=AllocationParams)
+    record_trace: bool = False
+    work_jitter_cv: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError(
+                f"warmup must be in [0, duration), got {self.warmup}"
+            )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run.
+
+    ``total_fps`` and ``dmr`` are the paper's two metrics over the
+    steady-state window.
+    """
+
+    config: RunConfig
+    total_fps: float
+    dmr: float
+    per_task_fps: Dict[str, float]
+    released: int
+    completed: int
+    utilization: float
+    mean_pressure: float
+    metrics: MetricsCollector
+    trace: Optional[TraceRecorder]
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.config.scheduler.name}: fps={self.total_fps:.1f} "
+            f"dmr={self.dmr * 100:.2f}% util={self.utilization * 100:.1f}%"
+        )
+
+
+def run_simulation(task_set: TaskSet, config: RunConfig) -> RunResult:
+    """Execute one run and return its steady-state metrics."""
+    task_set.validate()
+    engine = SimulationEngine()
+    trace = TraceRecorder(enabled=config.record_trace)
+    if issubclass(config.scheduler, NaiveScheduler):
+        contexts = build_naive_contexts(config.pool, config.spec)
+    elif issubclass(config.scheduler, SequentialScheduler):
+        contexts = build_sequential_context(config.spec)
+    else:
+        contexts = build_contexts(config.pool, config.spec)
+    device = GpuDevice(
+        engine,
+        config.spec,
+        contexts,
+        config.allocation,
+        trace=trace if config.record_trace else None,
+    )
+    metrics = MetricsCollector(warmup=config.warmup)
+    scheduler = config.scheduler(
+        engine,
+        device,
+        task_set,
+        metrics,
+        trace=trace if config.record_trace else None,
+        horizon=config.duration,
+        work_jitter_cv=config.work_jitter_cv,
+        seed=config.seed,
+    )
+    scheduler.start()
+    engine.run_until(config.duration)
+    now = engine.now
+    return RunResult(
+        config=config,
+        total_fps=metrics.total_fps(now),
+        dmr=metrics.deadline_miss_rate(now),
+        per_task_fps=metrics.per_task_fps(now),
+        released=metrics.released_count(),
+        completed=metrics.completed_count(),
+        utilization=device.utilization(now),
+        mean_pressure=device.mean_pressure(now),
+        metrics=metrics,
+        trace=trace if config.record_trace else None,
+    )

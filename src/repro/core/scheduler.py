@@ -1,0 +1,293 @@
+"""Online scheduling plumbing shared by SGPRS and the naive baseline.
+
+``SchedulerBase`` owns the job lifecycle: periodic releases, per-release
+absolute deadline assignment (Section IV-B1), stage-by-stage execution on
+the GPU device, and metrics recording.  Concrete schedulers specialise
+
+* :meth:`SchedulerBase.select_context` — the context-assignment policy;
+* :meth:`SchedulerBase.on_job_release` — admission/shedding behaviour;
+* the reconfiguration policy — what a partition switch costs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.deadlines import absolute_stage_deadlines
+from repro.core.priority import initial_priority, promote_if_predecessor_missed
+from repro.core.task import StageSpec, TaskSet, TaskSpec
+from repro.gpu.context import SimContext
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import PriorityLevel, StageKernel
+from repro.gpu.mps import ReconfigurationPolicy, ZeroConfigPool
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsCollector, StageRecord
+from repro.sim.trace import TraceRecorder
+
+
+class StageInstance:
+    """One released stage of one job."""
+
+    def __init__(
+        self,
+        spec: StageSpec,
+        job: "JobInstance",
+        absolute_deadline: float,
+        priority: PriorityLevel,
+        record: Optional[StageRecord] = None,
+    ) -> None:
+        self.spec = spec
+        self.job = job
+        self.absolute_deadline = absolute_deadline
+        self.priority = priority
+        self.record = record
+        self.kernel: Optional[StageKernel] = None
+        self.finish_time: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        """Stable identifier, e.g. ``"cam3/j12/s4"``."""
+        return f"{self.job.task.name}/j{self.job.index}/s{self.spec.index}"
+
+
+class JobInstance:
+    """One periodic release of a task."""
+
+    def __init__(
+        self, task: TaskSpec, index: int, release_time: float
+    ) -> None:
+        self.task = task
+        self.index = index
+        self.release_time = release_time
+        self.absolute_deadline = release_time + task.relative_deadline
+        self.stage_deadlines: List[float] = absolute_stage_deadlines(
+            task, release_time
+        )
+        self.stages: Dict[int, StageInstance] = {}
+        self.completed = False
+        self.aborted = False
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job is out of the system (done or shed)."""
+        return self.completed or self.aborted
+
+
+class SchedulerBase:
+    """Common machinery for online schedulers.
+
+    Parameters
+    ----------
+    engine / device:
+        The simulation substrate; the scheduler installs itself as the
+        device's completion callback.
+    task_set:
+        Offline-prepared tasks (stages, WCETs, virtual deadlines).
+    metrics:
+        Collector for job/stage records.
+    reconfig:
+        Partition reconfiguration cost policy; defaults to the
+        zero-configuration pool.
+    trace:
+        Optional trace recorder (kinds ``job_release``, ``job_complete``,
+        ``job_shed``, ``stage_release``).
+    horizon:
+        Releases are only scheduled strictly before this simulated time.
+    work_jitter_cv:
+        Relative half-width of per-stage execution-time jitter: each stage
+        instance's work is the nominal work times a uniform factor in
+        ``[1 - cv, 1 + cv]``.  Models the run-to-run variability real GPU
+        kernels show (cache state, DRAM arbitration, OS noise); the offline
+        WCET margin is meant to cover it.  0 gives fully deterministic
+        execution.
+    seed:
+        Seed for the jitter stream; runs are reproducible for a fixed seed.
+    """
+
+    #: Subclasses give themselves a short name for reports.
+    name = "base"
+
+    #: Ablation switch: when ``True`` every release is admitted even if the
+    #: task's previous job is still in flight (non-blocking clients with an
+    #: unbounded queue).
+    admit_all_releases = False
+
+    #: Ablation switch: the paper's MEDIUM promotion of late stages
+    #: (Section IV-B3).  Disabled in the ablation benchmark.
+    enable_medium_promotion = True
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        device: GpuDevice,
+        task_set: TaskSet,
+        metrics: MetricsCollector,
+        reconfig: Optional[ReconfigurationPolicy] = None,
+        trace: Optional[TraceRecorder] = None,
+        horizon: float = float("inf"),
+        work_jitter_cv: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= work_jitter_cv < 1.0:
+            raise ValueError(
+                f"work_jitter_cv must be in [0, 1), got {work_jitter_cv}"
+            )
+        self.engine = engine
+        self.device = device
+        self.task_set = task_set
+        self.metrics = metrics
+        self.reconfig = reconfig if reconfig is not None else ZeroConfigPool()
+        self.trace = trace
+        self.horizon = horizon
+        self.work_jitter_cv = work_jitter_cv
+        self._rng = random.Random(seed)
+        self._job_counters: Dict[str, int] = {}
+        self._latest_job: Dict[str, JobInstance] = {}
+        device.on_kernel_complete = self._on_kernel_complete
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    def select_context(self, kernel: StageKernel) -> SimContext:
+        """Choose the context a released stage is assigned to."""
+        raise NotImplementedError
+
+    def admit_job(
+        self, job: JobInstance, previous: Optional[JobInstance]
+    ) -> bool:
+        """Whether a released job enters the system.
+
+        The default models the paper's deployment: each task is a periodic
+        client thread issuing a *blocking* inference call, so while the
+        previous frame is still in flight the next release is skipped (the
+        frame is dropped at the source).  A skipped job stays in the metrics
+        as released-but-never-finished, i.e. a deadline miss.
+
+        Subclasses may override (``admit_all_releases = True`` disables the
+        skip for ablations, letting backlogs snowball).
+        """
+        if self.admit_all_releases:
+            return True
+        return previous is None or previous.finished
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first release of every task."""
+        for task in self.task_set:
+            if task.release_offset < self.horizon:
+                self.engine.schedule_at(
+                    task.release_offset,
+                    lambda t=task: self._release_job(t),
+                    tag=f"release:{task.name}",
+                )
+
+    def _release_job(self, task: TaskSpec) -> None:
+        index = self._job_counters.get(task.name, 0)
+        self._job_counters[task.name] = index + 1
+        now = self.engine.now
+        job = JobInstance(task, index, now)
+        self.metrics.job_released(task.name, index, now, job.absolute_deadline)
+        if self.trace is not None:
+            self.trace.record(now, "job_release", task=task.name, job=index)
+        previous = self._latest_job.get(task.name)
+        if self.admit_job(job, previous):
+            self._latest_job[task.name] = job
+            self._release_stage(job, 0, predecessor_missed=False)
+        else:
+            job.aborted = True
+            if self.trace is not None:
+                self.trace.record(now, "job_skip", task=task.name, job=index)
+        next_release = now + task.period
+        if next_release < self.horizon:
+            self.engine.schedule_at(
+                next_release,
+                lambda t=task: self._release_job(t),
+                tag=f"release:{task.name}",
+            )
+
+    def _release_stage(
+        self, job: JobInstance, stage_index: int, predecessor_missed: bool
+    ) -> None:
+        if job.aborted:
+            return
+        spec = job.task.stages[stage_index]
+        priority = promote_if_predecessor_missed(
+            initial_priority(stage_index, job.task.num_stages),
+            predecessor_missed and self.enable_medium_promotion,
+        )
+        deadline = job.stage_deadlines[stage_index]
+        record = self.metrics.stage_released(
+            job.task.name, job.index, stage_index, self.engine.now, deadline
+        )
+        record.priority = priority.name
+        stage = StageInstance(spec, job, deadline, priority, record)
+        job.stages[stage_index] = stage
+        work = spec.composite.base_time
+        if self.work_jitter_cv > 0.0:
+            work *= 1.0 + self.work_jitter_cv * self._rng.uniform(-1.0, 1.0)
+        kernel = StageKernel(
+            label=stage.label,
+            curve=spec.composite,
+            work=work,
+            width_demand=spec.width_demand,
+            deadline=deadline,
+            priority=priority,
+            payload=stage,
+        )
+        stage.kernel = kernel
+        context = self.select_context(kernel)
+        kernel.setup_remaining = self.reconfig.setup_time(context, job.task.name)
+        record.context_id = context.context_id
+        if self.trace is not None:
+            self.trace.record(
+                self.engine.now,
+                "stage_release",
+                stage=stage.label,
+                context=context.context_id,
+                priority=priority.name,
+                deadline=deadline,
+            )
+        self.device.submit(kernel, context)
+
+    def _on_kernel_complete(self, kernel: StageKernel) -> None:
+        stage: StageInstance = kernel.payload
+        now = self.engine.now
+        stage.finish_time = now
+        if stage.record is not None:
+            stage.record.finish_time = now
+        job = stage.job
+        if job.aborted:
+            return
+        if stage.spec.index == job.task.num_stages - 1:
+            job.completed = True
+            self.metrics.job_completed(job.task.name, job.index, now)
+            if self.trace is not None:
+                self.trace.record(
+                    now, "job_complete", task=job.task.name, job=job.index
+                )
+        else:
+            missed = now > stage.absolute_deadline
+            self._release_stage(job, stage.spec.index + 1, predecessor_missed=missed)
+
+    # ------------------------------------------------------------------
+    # Shedding support
+    # ------------------------------------------------------------------
+    def abort_job(self, job: JobInstance) -> None:
+        """Shed a job: abort its pending/resident stages.
+
+        The job's metrics record stays unfinished, so it counts as a
+        deadline miss once its deadline passes.
+        """
+        if job.finished:
+            return
+        job.aborted = True
+        for stage in job.stages.values():
+            if stage.finish_time is None and stage.kernel is not None:
+                self.device.abort(stage.kernel)
+        if self.trace is not None:
+            self.trace.record(
+                self.engine.now, "job_shed", task=job.task.name, job=job.index
+            )

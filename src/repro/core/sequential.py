@@ -1,0 +1,55 @@
+"""Sequential baseline: what "existing frameworks" do.
+
+The paper's introduction motivates SGPRS with the observation that "coarse
+resource allocation and sequential execution in existing frameworks result
+in underutilization": a stock PyTorch deployment runs all tenants through
+one CUDA context, one inference at a time, on the whole GPU.
+
+This scheduler models exactly that — a useful third point of comparison
+(the extension benchmark contrasts it with both SGPRS and the naive
+spatial partitioner): it wastes no SMs on partition boundaries, but a
+single ResNet18 only reaches ~23x speedup on 68 SMs, so the GPU is heavily
+underutilized and total throughput caps near 320 fps.
+"""
+
+from __future__ import annotations
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.scheduler import SchedulerBase
+from repro.gpu.context import SimContext
+from repro.gpu.kernel import StageKernel
+from repro.gpu.spec import GpuDeviceSpec
+
+
+def build_sequential_context(spec: GpuDeviceSpec) -> list:
+    """One full-device context with a single stream (FIFO execution)."""
+    return [
+        SimContext(
+            context_id=0,
+            nominal_sms=float(spec.total_sms),
+            high_streams=0,
+            low_streams=1,
+            allow_stream_borrowing=True,
+        )
+    ]
+
+
+def sequential_pool_config(spec: GpuDeviceSpec) -> ContextPoolConfig:
+    """Pool config matching :func:`build_sequential_context`."""
+    return ContextPoolConfig(
+        num_contexts=1, sms_per_context=float(spec.total_sms)
+    )
+
+
+class SequentialScheduler(SchedulerBase):
+    """Single context, whole GPU, one job at a time, release order.
+
+    Tasks should be prepared with ``num_stages=1`` (frameworks do not
+    pipeline stages) and WCETs profiled at the full device width.
+    """
+
+    name = "sequential"
+
+    def select_context(self, kernel: StageKernel) -> SimContext:
+        """There is only one context."""
+        return self.device.contexts[0]

@@ -1,0 +1,34 @@
+"""DNN substrate: operator-level network graphs and cost models.
+
+The paper schedules DNN inference tasks whose structure is a DAG of
+*stages*, each stage being a contiguous slice of the network's operators.
+This package provides everything needed to express those networks without a
+deep-learning framework:
+
+* :mod:`repro.dnn.ops` — operator records (type, shapes, FLOPs, bytes);
+* :mod:`repro.dnn.shapes` — convolution/pooling shape arithmetic;
+* :mod:`repro.dnn.flops` — FLOP and memory-traffic formulas per operator;
+* :mod:`repro.dnn.graph` — a small deterministic DAG container;
+* :mod:`repro.dnn.resnet` — ResNet-18/34 builders (the paper's benchmark);
+* :mod:`repro.dnn.models` — auxiliary small networks for tests/examples;
+* :mod:`repro.dnn.stages` — balanced partitioning of a network into stages.
+"""
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.models import build_mlp, build_simple_cnn, build_vgg11
+from repro.dnn.ops import Operator, OpType
+from repro.dnn.resnet import build_resnet18, build_resnet34
+from repro.dnn.stages import StagePlan, partition_into_stages
+
+__all__ = [
+    "OpType",
+    "Operator",
+    "LayerGraph",
+    "build_resnet18",
+    "build_resnet34",
+    "build_simple_cnn",
+    "build_vgg11",
+    "build_mlp",
+    "StagePlan",
+    "partition_into_stages",
+]

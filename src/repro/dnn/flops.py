@@ -1,0 +1,113 @@
+"""FLOP and DRAM-traffic formulas per operator type.
+
+These feed the single-SM baseline cost model in
+:mod:`repro.speedup.calibration`.  Conventions:
+
+* one multiply-accumulate = 2 FLOPs;
+* tensors are FP32 (4 bytes per element);
+* ``bytes_moved`` counts activation reads + writes plus one pass over the
+  parameters (weights are assumed resident but still streamed from L2/DRAM
+  once per inference, which matches the memory-bound behaviour the paper's
+  Fig. 1 shows for the non-convolution operators).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dnn.shapes import element_count
+
+#: Bytes per FP32 element.
+DTYPE_BYTES = 4
+
+
+def conv2d_flops(
+    in_channels: int, out_shape: Tuple[int, int, int], kernel: int
+) -> float:
+    """FLOPs of a square-kernel 2-D convolution (2 * MACs)."""
+    out_channels, out_h, out_w = out_shape
+    macs = out_channels * out_h * out_w * in_channels * kernel * kernel
+    return 2.0 * macs
+
+
+def conv2d_params(in_channels: int, out_channels: int, kernel: int) -> int:
+    """Weight count of a bias-free convolution (ResNet convs have no bias)."""
+    return out_channels * in_channels * kernel * kernel
+
+
+def conv2d_bytes(
+    input_shape: Tuple[int, int, int],
+    output_shape: Tuple[int, int, int],
+    params: int,
+) -> float:
+    """DRAM traffic of a convolution: read input + weights, write output."""
+    return DTYPE_BYTES * (
+        element_count(input_shape) + element_count(output_shape) + params
+    )
+
+
+def batchnorm_flops(shape: Tuple[int, int, int]) -> float:
+    """Inference-time batch norm: scale + shift = 2 FLOPs per element."""
+    return 2.0 * element_count(shape)
+
+
+def batchnorm_bytes(shape: Tuple[int, int, int]) -> float:
+    """Read + write each element; per-channel parameters are negligible."""
+    return 2.0 * DTYPE_BYTES * element_count(shape)
+
+
+def relu_flops(shape: Tuple[int, ...]) -> float:
+    """One compare per element."""
+    return float(element_count(shape))
+
+
+def relu_bytes(shape: Tuple[int, ...]) -> float:
+    """Read + write each element."""
+    return 2.0 * DTYPE_BYTES * element_count(shape)
+
+
+def add_flops(shape: Tuple[int, ...]) -> float:
+    """Residual addition: one add per element."""
+    return float(element_count(shape))
+
+
+def add_bytes(shape: Tuple[int, ...]) -> float:
+    """Two reads + one write per element."""
+    return 3.0 * DTYPE_BYTES * element_count(shape)
+
+
+def pool_flops(output_shape: Tuple[int, int, int], kernel: int) -> float:
+    """One compare/add per window element per output element."""
+    return float(element_count(output_shape) * kernel * kernel)
+
+
+def pool_bytes(
+    input_shape: Tuple[int, int, int], output_shape: Tuple[int, int, int]
+) -> float:
+    """Read the input once, write the output once."""
+    return DTYPE_BYTES * (element_count(input_shape) + element_count(output_shape))
+
+
+def linear_flops(in_features: int, out_features: int) -> float:
+    """Fully connected layer: 2 * in * out (MACs x 2)."""
+    return 2.0 * in_features * out_features
+
+
+def linear_params(in_features: int, out_features: int, bias: bool = True) -> int:
+    """Weight (+ bias) count of a fully connected layer."""
+    return in_features * out_features + (out_features if bias else 0)
+
+
+def linear_bytes(in_features: int, out_features: int, params: int) -> float:
+    """Read input + weights, write output."""
+    return DTYPE_BYTES * (in_features + out_features + params)
+
+
+def softmax_flops(features: int) -> float:
+    """exp + sum + divide, roughly 3 FLOPs per element."""
+    return 3.0 * features
+
+
+def softmax_bytes(features: int) -> float:
+    """Read + write each element."""
+    return 2.0 * DTYPE_BYTES * features

@@ -1,0 +1,145 @@
+"""Auxiliary networks for tests and examples.
+
+``build_simple_cnn`` / ``build_mlp`` are smaller than ResNet18 so unit
+tests stay fast; ``build_vgg11`` is substantially *heavier*, giving the
+examples a workload mix with real dynamic range.
+"""
+
+from __future__ import annotations
+
+from repro.dnn import flops as F
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Operator, OpType
+from repro.dnn.resnet import _Builder
+
+
+def build_simple_cnn(
+    input_hw: int = 32, num_classes: int = 10, name: str = "simple_cnn"
+) -> LayerGraph:
+    """A LeNet-style chain: 2x (conv + BN + ReLU + maxpool) + FC head.
+
+    Useful as a cheap stand-in for a "small camera pipeline" task.
+    """
+    graph = LayerGraph(name)
+    input_shape = (3, input_hw, input_hw)
+    graph.add_node(
+        Operator(
+            name="input",
+            op_type=OpType.FLATTEN,
+            input_shape=input_shape,
+            output_shape=input_shape,
+            flops=0.0,
+            bytes_moved=0.0,
+        )
+    )
+    builder = _Builder(graph, "input", input_shape)
+    builder.conv("conv1", out_channels=16, kernel=3, stride=1, padding=1)
+    builder.batchnorm("bn1")
+    builder.relu("relu1")
+    builder.maxpool("pool1", kernel=2, stride=2)
+    builder.conv("conv2", out_channels=32, kernel=3, stride=1, padding=1)
+    builder.batchnorm("bn2")
+    builder.relu("relu2")
+    builder.maxpool("pool2", kernel=2, stride=2)
+    builder.flatten("flatten")
+    builder.linear("fc1", 128)
+    builder.relu("relu3")
+    builder.linear("fc2", num_classes)
+    graph.validate()
+    return graph
+
+
+#: VGG-11 ('A' configuration): channel counts with 'M' marking max-pools.
+_VGG11_LAYOUT = (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M")
+
+
+def build_vgg11(
+    input_hw: int = 224, num_classes: int = 1000, name: str = "vgg11"
+) -> LayerGraph:
+    """VGG-11 (Simonyan & Zisserman 'A' config) as an operator graph.
+
+    ~15.2 GFLOPs at 224x224 — roughly 4x ResNet18 — with a conv-dominated
+    profile and a huge fully connected head, exercising the memory-bound
+    linear cost path at scale.
+    """
+    graph = LayerGraph(name)
+    input_shape = (3, input_hw, input_hw)
+    graph.add_node(
+        Operator(
+            name="input",
+            op_type=OpType.FLATTEN,
+            input_shape=input_shape,
+            output_shape=input_shape,
+            flops=0.0,
+            bytes_moved=0.0,
+        )
+    )
+    builder = _Builder(graph, "input", input_shape)
+    conv_index = 0
+    pool_index = 0
+    for entry in _VGG11_LAYOUT:
+        if entry == "M":
+            pool_index += 1
+            builder.maxpool(f"pool{pool_index}", kernel=2, stride=2)
+        else:
+            conv_index += 1
+            builder.conv(f"conv{conv_index}", out_channels=entry, kernel=3,
+                         stride=1, padding=1)
+            builder.batchnorm(f"bn{conv_index}")
+            builder.relu(f"relu{conv_index}")
+    builder.flatten("flatten")
+    builder.linear("fc1", 4096)
+    builder.relu("relu_fc1")
+    builder.linear("fc2", 4096)
+    builder.relu("relu_fc2")
+    builder.linear("fc3", num_classes)
+    graph.validate()
+    return graph
+
+
+def build_mlp(
+    in_features: int = 256,
+    hidden: int = 512,
+    depth: int = 3,
+    num_classes: int = 10,
+    name: str = "mlp",
+) -> LayerGraph:
+    """A plain MLP: ``depth`` hidden linear+ReLU layers plus a classifier.
+
+    Exercises the linear/ReLU cost paths with no convolutions at all.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    graph = LayerGraph(name)
+    input_shape = (in_features,)
+    graph.add_node(
+        Operator(
+            name="input",
+            op_type=OpType.FLATTEN,
+            input_shape=input_shape,
+            output_shape=input_shape,
+            flops=0.0,
+            bytes_moved=0.0,
+        )
+    )
+    builder = _Builder(graph, "input", input_shape)
+    for i in range(depth):
+        builder.linear(f"fc{i}", hidden)
+        builder.relu(f"relu{i}")
+    builder.linear("classifier", num_classes)
+
+    # Softmax head so the op-type coverage includes SOFTMAX.
+    shape = builder.shape
+    graph.add_node(
+        Operator(
+            name="softmax",
+            op_type=OpType.SOFTMAX,
+            input_shape=shape,
+            output_shape=shape,
+            flops=F.softmax_flops(shape[0]),
+            bytes_moved=F.softmax_bytes(shape[0]),
+        )
+    )
+    graph.add_edge(builder.head, "softmax")
+    graph.validate()
+    return graph

@@ -1,0 +1,118 @@
+"""Operator records.
+
+Each network node is an :class:`Operator`: an immutable description of one
+GPU kernel launch (type, tensor shapes, arithmetic work, memory traffic).
+The speedup package attaches per-type scaling curves to these records; the
+GPU simulator never looks inside them beyond ``flops``/``bytes``/``op_type``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+Shape = Tuple[int, ...]
+
+
+class OpType(enum.Enum):
+    """Operator categories measured by the paper's Fig. 1.
+
+    The paper reports per-operation speedup-vs-SMs for the operations that
+    appear in ResNet18; convolution dominates, max pooling is second, and
+    "other operations failed to exceed 7x".
+    """
+
+    CONV2D = "conv2d"
+    MAXPOOL = "maxpool"
+    AVGPOOL = "avgpool"
+    RELU = "relu"
+    BATCHNORM = "batchnorm"
+    ADD = "add"
+    LINEAR = "linear"
+    FLATTEN = "flatten"
+    SOFTMAX = "softmax"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Operator types whose runtime is dominated by memory traffic rather than
+#: arithmetic at batch size 1.  LINEAR is included: a batch-1 fully
+#: connected layer streams every weight once for two FLOPs per weight.
+MEMORY_BOUND_TYPES = frozenset(
+    {
+        OpType.MAXPOOL,
+        OpType.AVGPOOL,
+        OpType.RELU,
+        OpType.BATCHNORM,
+        OpType.ADD,
+        OpType.LINEAR,
+        OpType.FLATTEN,
+        OpType.SOFTMAX,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One network operator (= one simulated kernel launch).
+
+    Attributes
+    ----------
+    name:
+        Unique name within the network, e.g. ``"layer2.0.conv1"``.
+    op_type:
+        Category used to select the speedup curve.
+    input_shape / output_shape:
+        Activation shapes (channels-first, no batch dimension).
+    flops:
+        Floating-point operations for one inference (multiply-accumulate
+        counted as two operations, matching common practice).
+    bytes_moved:
+        DRAM traffic in bytes (activations + parameters, reads + writes).
+    params:
+        Parameter count (weights + biases), informational.
+    """
+
+    name: str
+    op_type: OpType
+    input_shape: Shape
+    output_shape: Shape
+    flops: float
+    bytes_moved: float
+    params: int = 0
+    attributes: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+        if self.flops < 0:
+            raise ValueError(f"{self.name}: flops must be >= 0, got {self.flops}")
+        if self.bytes_moved < 0:
+            raise ValueError(
+                f"{self.name}: bytes_moved must be >= 0, got {self.bytes_moved}"
+            )
+        for shape in (self.input_shape, self.output_shape):
+            if any(d <= 0 for d in shape):
+                raise ValueError(f"{self.name}: shape dims must be positive: {shape}")
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Whether this operator's runtime is modelled as bandwidth-bound."""
+        return self.op_type in MEMORY_BOUND_TYPES
+
+    def attribute(self, key: str, default: Optional[object] = None) -> object:
+        """Look up an auxiliary attribute (kernel size, stride, ...)."""
+        for k, v in self.attributes:
+            if k == key:
+                return v
+        return default
+
+
+def output_elements(op: Operator) -> int:
+    """Number of elements in the operator's output tensor."""
+    count = 1
+    for dim in op.output_shape:
+        count *= dim
+    return count

@@ -1,0 +1,270 @@
+"""ResNet builders (the paper's benchmark network).
+
+The paper's evaluation uses ResNet18 with a 224x224 input (Section V).  The
+builders here produce operator-level :class:`~repro.dnn.graph.LayerGraph`
+instances with exact He et al. (2016) layer configurations, including the
+1x1 downsample convolutions on the residual shortcuts of stages conv3_1,
+conv4_1 and conv5_1.
+
+The insertion order of every builder is a valid topological order (residual
+skip edges always point forward), which the stage partitioner relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dnn import flops as F
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Operator, OpType
+from repro.dnn.shapes import (
+    conv2d_output_shape,
+    flatten_shape,
+    global_pool_output_shape,
+    pool_output_shape,
+)
+
+Shape3 = Tuple[int, int, int]
+
+
+@dataclass
+class _Builder:
+    """Incremental graph builder tracking the current tensor shape."""
+
+    graph: LayerGraph
+    head: str  # name of the operator producing the current tensor
+    shape: Tuple[int, ...]
+
+    def _attach(self, op: Operator, extra_inputs: Tuple[str, ...] = ()) -> None:
+        self.graph.add_node(op)
+        self.graph.add_edge(self.head, op.name)
+        for src in extra_inputs:
+            self.graph.add_edge(src, op.name)
+        self.head = op.name
+        self.shape = op.output_shape
+
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> None:
+        """Append a bias-free 2-D convolution."""
+        in_shape = self.shape
+        out_shape = conv2d_output_shape(in_shape, out_channels, kernel, stride, padding)
+        params = F.conv2d_params(in_shape[0], out_channels, kernel)
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.CONV2D,
+                input_shape=in_shape,
+                output_shape=out_shape,
+                flops=F.conv2d_flops(in_shape[0], out_shape, kernel),
+                bytes_moved=F.conv2d_bytes(in_shape, out_shape, params),
+                params=params,
+                attributes=(("kernel", kernel), ("stride", stride), ("padding", padding)),
+            )
+        )
+
+    def batchnorm(self, name: str) -> None:
+        """Append an inference-mode batch normalisation."""
+        shape = self.shape
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.BATCHNORM,
+                input_shape=shape,
+                output_shape=shape,
+                flops=F.batchnorm_flops(shape),
+                bytes_moved=F.batchnorm_bytes(shape),
+                params=2 * shape[0],
+            )
+        )
+
+    def relu(self, name: str) -> None:
+        """Append a ReLU."""
+        shape = self.shape
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.RELU,
+                input_shape=shape,
+                output_shape=shape,
+                flops=F.relu_flops(shape),
+                bytes_moved=F.relu_bytes(shape),
+            )
+        )
+
+    def maxpool(self, name: str, kernel: int, stride: int, padding: int = 0) -> None:
+        """Append a max pooling layer."""
+        in_shape = self.shape
+        out_shape = pool_output_shape(in_shape, kernel, stride, padding)
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.MAXPOOL,
+                input_shape=in_shape,
+                output_shape=out_shape,
+                flops=F.pool_flops(out_shape, kernel),
+                bytes_moved=F.pool_bytes(in_shape, out_shape),
+                attributes=(("kernel", kernel), ("stride", stride), ("padding", padding)),
+            )
+        )
+
+    def global_avgpool(self, name: str) -> None:
+        """Append a global average pooling layer."""
+        in_shape = self.shape
+        out_shape = global_pool_output_shape(in_shape)
+        # Global pooling touches every input element once.
+        kernel_equivalent = in_shape[1]
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.AVGPOOL,
+                input_shape=in_shape,
+                output_shape=out_shape,
+                flops=F.pool_flops(out_shape, kernel_equivalent),
+                bytes_moved=F.pool_bytes(in_shape, out_shape),
+            )
+        )
+
+    def flatten(self, name: str) -> None:
+        """Append a flatten (view change; negligible work, one copy)."""
+        in_shape = self.shape
+        out_shape = flatten_shape(in_shape)
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.FLATTEN,
+                input_shape=in_shape,
+                output_shape=out_shape,
+                flops=0.0,
+                bytes_moved=2.0 * F.DTYPE_BYTES * out_shape[0],
+            )
+        )
+
+    def linear(self, name: str, out_features: int) -> None:
+        """Append a fully connected layer with bias."""
+        in_features = self.shape[0]
+        params = F.linear_params(in_features, out_features)
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.LINEAR,
+                input_shape=self.shape,
+                output_shape=(out_features,),
+                flops=F.linear_flops(in_features, out_features),
+                bytes_moved=F.linear_bytes(in_features, out_features, params),
+                params=params,
+            )
+        )
+
+    def add(self, name: str, other_head: str, other_shape: Tuple[int, ...]) -> None:
+        """Append a residual addition joining ``other_head`` into the trunk."""
+        if other_shape != self.shape:
+            raise ValueError(
+                f"{name}: residual shapes differ: trunk {self.shape} vs "
+                f"shortcut {other_shape}"
+            )
+        shape = self.shape
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.ADD,
+                input_shape=shape,
+                output_shape=shape,
+                flops=F.add_flops(shape),
+                bytes_moved=F.add_bytes(shape),
+            ),
+            extra_inputs=(other_head,),
+        )
+
+
+def _input_stem(builder: _Builder) -> None:
+    """conv7x7/2 + BN + ReLU + maxpool3x3/2, the standard ResNet stem."""
+    builder.conv("conv1", out_channels=64, kernel=7, stride=2, padding=3)
+    builder.batchnorm("bn1")
+    builder.relu("relu1")
+    builder.maxpool("maxpool", kernel=3, stride=2, padding=1)
+
+
+def _basic_block(
+    builder: _Builder, prefix: str, out_channels: int, stride: int
+) -> None:
+    """One BasicBlock: two 3x3 convs with a (possibly projected) shortcut."""
+    shortcut_head = builder.head
+    shortcut_shape = builder.shape
+    in_channels = builder.shape[0]
+
+    builder.conv(f"{prefix}.conv1", out_channels, kernel=3, stride=stride, padding=1)
+    builder.batchnorm(f"{prefix}.bn1")
+    builder.relu(f"{prefix}.relu1")
+    builder.conv(f"{prefix}.conv2", out_channels, kernel=3, stride=1, padding=1)
+    builder.batchnorm(f"{prefix}.bn2")
+
+    if stride != 1 or in_channels != out_channels:
+        # Projection shortcut: 1x1 conv + BN on the skip path.  Build it on a
+        # temporary builder branched from the shortcut head so the trunk
+        # state is untouched.
+        side = _Builder(builder.graph, shortcut_head, shortcut_shape)
+        side.conv(f"{prefix}.downsample.conv", out_channels, kernel=1, stride=stride)
+        side.batchnorm(f"{prefix}.downsample.bn")
+        shortcut_head = side.head
+        shortcut_shape = side.shape
+
+    builder.add(f"{prefix}.add", shortcut_head, shortcut_shape)
+    builder.relu(f"{prefix}.relu2")
+
+
+def _build_resnet(
+    name: str, blocks_per_layer: List[int], input_hw: int, num_classes: int
+) -> LayerGraph:
+    graph = LayerGraph(name)
+    input_shape: Shape3 = (3, input_hw, input_hw)
+    # Synthetic input node: zero-cost marker so the graph has one source.
+    graph.add_node(
+        Operator(
+            name="input",
+            op_type=OpType.FLATTEN,
+            input_shape=input_shape,
+            output_shape=input_shape,
+            flops=0.0,
+            bytes_moved=0.0,
+        )
+    )
+    builder = _Builder(graph, "input", input_shape)
+    _input_stem(builder)
+    channels = [64, 128, 256, 512]
+    for layer_index, (blocks, out_channels) in enumerate(
+        zip(blocks_per_layer, channels), start=1
+    ):
+        for block_index in range(blocks):
+            stride = 2 if layer_index > 1 and block_index == 0 else 1
+            _basic_block(
+                builder,
+                prefix=f"layer{layer_index}.{block_index}",
+                out_channels=out_channels,
+                stride=stride,
+            )
+    builder.global_avgpool("avgpool")
+    builder.flatten("flatten")
+    builder.linear("fc", num_classes)
+    graph.validate()
+    return graph
+
+
+def build_resnet18(input_hw: int = 224, num_classes: int = 1000) -> LayerGraph:
+    """ResNet-18 as an operator graph.
+
+    With the default 224x224 input this is the paper's benchmark task:
+    ~1.8 GFLOPs, 11.7M parameters, 20 convolutions.
+    """
+    return _build_resnet("resnet18", [2, 2, 2, 2], input_hw, num_classes)
+
+
+def build_resnet34(input_hw: int = 224, num_classes: int = 1000) -> LayerGraph:
+    """ResNet-34 as an operator graph (used by examples for heavier tasks)."""
+    return _build_resnet("resnet34", [3, 4, 6, 3], input_hw, num_classes)

@@ -1,0 +1,84 @@
+"""Shape arithmetic for convolution and pooling operators.
+
+All shapes are channels-first without a batch dimension: ``(C, H, W)`` for
+feature maps and ``(N,)`` for flattened vectors.  Inference batch size is 1
+throughout the paper (one camera frame per job).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+Shape3 = Tuple[int, int, int]
+
+
+def conv2d_output_hw(
+    height: int, width: int, kernel: int, stride: int = 1, padding: int = 0
+) -> Tuple[int, int]:
+    """Output spatial size of a square-kernel convolution.
+
+    Uses the standard floor formula ``(size + 2*pad - kernel) // stride + 1``.
+
+    Raises
+    ------
+    ValueError
+        If the kernel does not fit in the padded input.
+    """
+    if kernel <= 0 or stride <= 0:
+        raise ValueError(f"kernel and stride must be positive, got {kernel}, {stride}")
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel} (stride {stride}, padding {padding}) does not fit "
+            f"input {height}x{width}"
+        )
+    return out_h, out_w
+
+
+def conv2d_output_shape(
+    input_shape: Shape3,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> Shape3:
+    """Output shape ``(out_channels, H_out, W_out)`` of a convolution."""
+    if out_channels <= 0:
+        raise ValueError(f"out_channels must be positive, got {out_channels}")
+    _, height, width = input_shape
+    out_h, out_w = conv2d_output_hw(height, width, kernel, stride, padding)
+    return (out_channels, out_h, out_w)
+
+
+def pool_output_shape(
+    input_shape: Shape3, kernel: int, stride: int, padding: int = 0
+) -> Shape3:
+    """Output shape of a max/avg pooling layer (channel-preserving)."""
+    channels, height, width = input_shape
+    out_h, out_w = conv2d_output_hw(height, width, kernel, stride, padding)
+    return (channels, out_h, out_w)
+
+
+def global_pool_output_shape(input_shape: Shape3) -> Shape3:
+    """Output shape of global average pooling: ``(C, 1, 1)``."""
+    channels = input_shape[0]
+    return (channels, 1, 1)
+
+
+def flatten_shape(input_shape: Tuple[int, ...]) -> Tuple[int]:
+    """Collapse any shape into a vector shape."""
+    count = 1
+    for dim in input_shape:
+        count *= dim
+    return (count,)
+
+
+def element_count(shape: Tuple[int, ...]) -> int:
+    """Number of elements in a tensor of ``shape``."""
+    count = 1
+    for dim in shape:
+        count *= dim
+    return count

@@ -1,0 +1,216 @@
+"""Simulated CUDA context: an SM partition with prioritized stream slots.
+
+A context owns
+
+* a **nominal SM allocation** (``nominal_sms``) — the hard cap the device
+  allocator enforces (MPS active-thread-percentage semantics);
+* a fixed set of streams (2 hardware-high + 2 hardware-low by default),
+  bounding resident concurrency at four stages (Section IV-B3);
+* three EDF wait queues, one per scheduler priority level, holding stages
+  that have been *assigned* to this context but have no free stream yet.
+
+Dispatch order follows the paper: the highest non-empty priority level
+first, earliest absolute deadline first within a level.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpu.kernel import PriorityLevel, StageKernel
+from repro.gpu.stream import PREFERRED_CLASS, CudaStream, StreamClass
+
+_QUEUE_SEQ = itertools.count()
+
+
+class SimContext:
+    """One partition of the simulated GPU.
+
+    Parameters
+    ----------
+    context_id:
+        Stable identifier within the pool.
+    nominal_sms:
+        Hard SM cap (may be fractional; over-subscribed pools configure
+        more total nominal SMs than the device physically has).
+    high_streams / low_streams:
+        Number of hardware high-/low-priority streams.
+    allow_stream_borrowing:
+        When ``True`` (default) a stage may occupy an idle stream of the
+        non-preferred class instead of waiting — the work-conserving
+        behaviour real stream priorities exhibit (priorities order work
+        distribution, they do not reserve slots).  ``False`` gives the
+        strict interpretation; the ablation benchmark compares both.
+    """
+
+    def __init__(
+        self,
+        context_id: int,
+        nominal_sms: float,
+        high_streams: int = 2,
+        low_streams: int = 2,
+        allow_stream_borrowing: bool = True,
+    ) -> None:
+        if nominal_sms <= 0:
+            raise ValueError(f"nominal_sms must be positive, got {nominal_sms}")
+        self.context_id = context_id
+        self.nominal_sms = nominal_sms
+        self.allow_stream_borrowing = allow_stream_borrowing
+        self.streams: List[CudaStream] = []
+        for index in range(high_streams):
+            self.streams.append(CudaStream(index, StreamClass.HIGH))
+        for index in range(low_streams):
+            self.streams.append(CudaStream(high_streams + index, StreamClass.LOW))
+        self._queues: Dict[PriorityLevel, List[Tuple[float, int, StageKernel]]] = {
+            level: [] for level in PriorityLevel
+        }
+        #: Identity of the task whose state the partition is configured for;
+        #: used by reconfiguration policies (naive pays to change it).
+        self.configured_task: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Queue management
+    # ------------------------------------------------------------------
+    def enqueue(self, kernel: StageKernel) -> None:
+        """Queue an assigned stage, EDF-ordered within its priority level."""
+        kernel.context_id = self.context_id
+        heapq.heappush(
+            self._queues[kernel.priority],
+            (kernel.deadline, next(_QUEUE_SEQ), kernel),
+        )
+
+    def queued_count(self, level: Optional[PriorityLevel] = None) -> int:
+        """Stages waiting for a stream (optionally at one level)."""
+        if level is not None:
+            return sum(1 for _, _, k in self._queues[level] if not k.aborted)
+        return sum(
+            1
+            for queue in self._queues.values()
+            for _, _, k in queue
+            if not k.aborted
+        )
+
+    def queue_empty(self) -> bool:
+        """Whether no stage is waiting for a stream."""
+        return self.queued_count() == 0
+
+    def is_idle(self) -> bool:
+        """Whether the context has no resident and no queued stage."""
+        return not self.resident_kernels() and self.queue_empty()
+
+    # ------------------------------------------------------------------
+    # Residency
+    # ------------------------------------------------------------------
+    def resident_kernels(self) -> List[StageKernel]:
+        """Kernels currently occupying streams."""
+        return [s.kernel for s in self.streams if s.kernel is not None]
+
+    def free_streams(self, stream_class: Optional[StreamClass] = None) -> List[CudaStream]:
+        """Idle streams, optionally filtered by hardware class."""
+        return [
+            s
+            for s in self.streams
+            if not s.busy and (stream_class is None or s.stream_class is stream_class)
+        ]
+
+    def dispatch_ready(self) -> List[StageKernel]:
+        """Move queued stages onto free streams; return those dispatched.
+
+        Highest priority level first, EDF within a level.  Each stage takes
+        an idle stream of its preferred hardware class, falling back to the
+        other class when borrowing is enabled.
+        """
+        dispatched: List[StageKernel] = []
+        progressing = True
+        while progressing:
+            progressing = False
+            for level in sorted(PriorityLevel, reverse=True):
+                kernel = self._pop_live(level)
+                if kernel is None:
+                    continue
+                stream = self._pick_stream(level)
+                if stream is None:
+                    # No slot for this level; put the stage back and try the
+                    # next (lower) level, which may target the other class.
+                    self.enqueue(kernel)
+                    continue
+                stream.attach(kernel)
+                dispatched.append(kernel)
+                progressing = True
+                break  # restart from the highest level
+        return dispatched
+
+    def _pop_live(self, level: PriorityLevel) -> Optional[StageKernel]:
+        """Pop the earliest-deadline non-aborted stage of one level."""
+        queue = self._queues[level]
+        while queue:
+            _, _, kernel = heapq.heappop(queue)
+            if not kernel.aborted:
+                return kernel
+        return None
+
+    def _pick_stream(self, level: PriorityLevel) -> Optional[CudaStream]:
+        preferred = PREFERRED_CLASS[level]
+        candidates = self.free_streams(preferred)
+        if not candidates and self.allow_stream_borrowing:
+            candidates = self.free_streams()
+        return candidates[0] if candidates else None
+
+    def remove(self, kernel: StageKernel) -> None:
+        """Detach a kernel wherever it lives (stream or queue).
+
+        Queued copies are tombstoned (``aborted`` kernels are skipped when
+        popped), so removal is O(1).
+        """
+        for stream in self.streams:
+            if stream.kernel is kernel:
+                stream.detach()
+                return
+        kernel.aborted = True
+
+    # ------------------------------------------------------------------
+    # Estimates used by the SGPRS context-assignment policy
+    # ------------------------------------------------------------------
+    def backlog_work(self) -> float:
+        """Single-SM seconds of work resident + queued on this context."""
+        total = sum(k.work_remaining for k in self.resident_kernels())
+        for queue in self._queues.values():
+            total += sum(k.work_remaining for _, _, k in queue if not k.aborted)
+        return total
+
+    def estimated_finish_time(self, now: float) -> float:
+        """Crude ETA for draining the current backlog.
+
+        Assumes the backlog runs sequentially at the composite speedup its
+        kernels achieve at the context's nominal allocation — an
+        intentionally simple estimate, mirroring what an online scheduler
+        can actually compute cheaply.
+        """
+        kernels = self.resident_kernels() + [
+            k
+            for queue in self._queues.values()
+            for _, _, k in queue
+            if not k.aborted
+        ]
+        eta = now
+        for kernel in kernels:
+            speedup = max(kernel.curve.speedup(self.nominal_sms), 1e-9)
+            eta += kernel.setup_remaining + kernel.work_remaining / speedup
+        return eta
+
+    def estimate_completion(self, kernel: StageKernel, now: float) -> float:
+        """ETA for ``kernel`` if it were assigned to this context now."""
+        speedup = max(kernel.curve.speedup(self.nominal_sms), 1e-9)
+        own_time = kernel.setup_remaining + kernel.work_remaining / speedup
+        if self.queue_empty() and len(self.resident_kernels()) < len(self.streams):
+            # Would start immediately, sharing the partition.
+            return now + own_time
+        return self.estimated_finish_time(now) + own_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimContext({self.context_id}, sms={self.nominal_sms:.1f}, "
+            f"resident={len(self.resident_kernels())}, queued={self.queued_count()})"
+        )

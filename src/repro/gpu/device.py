@@ -1,0 +1,240 @@
+"""The simulated GPU device: progress integration and completion events.
+
+``GpuDevice`` ties the pieces together: contexts hold resident kernels, the
+allocator assigns shares/rates, and the device integrates progress over
+simulated time, firing a completion callback whenever a stage kernel
+finishes.  Rates are piecewise-constant between *change points* (submit,
+completion, abort); at every change point the device
+
+1. advances each resident kernel by the elapsed time at its previous rate,
+2. recomputes the allocation,
+3. reschedules one provisional completion event per resident kernel.
+
+The completion callback is the scheduler's online hook (release successor
+stages, complete jobs); anything it submits or aborts is folded into the
+same change point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.gpu.allocator import AllocationParams, AllocationResult, compute_allocation
+from repro.gpu.context import SimContext
+from repro.gpu.kernel import StageKernel
+from repro.gpu.spec import GpuDeviceSpec
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.trace import TraceRecorder
+
+CompletionCallback = Callable[[StageKernel], None]
+
+
+class GpuDevice:
+    """Rate-based execution of stage kernels on a partitioned GPU.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine driving simulated time.
+    spec:
+        Architectural constants (SM count, stream counts, aggregate cap).
+    contexts:
+        The context pool.  Nominal SM totals may exceed ``spec.total_sms``
+        (over-subscription); the allocator resolves the contention.
+    params:
+        Allocation model constants.
+    trace:
+        Optional trace recorder (kinds: ``kernel_start``, ``kernel_done``,
+        ``allocation``).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        spec: GpuDeviceSpec,
+        contexts: Sequence[SimContext],
+        params: AllocationParams = AllocationParams(),
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if not contexts:
+            raise ValueError("device needs at least one context")
+        self.engine = engine
+        self.spec = spec
+        self.contexts = list(contexts)
+        self.params = params
+        self.trace = trace
+        self.on_kernel_complete: Optional[CompletionCallback] = None
+        self._completion_events: Dict[int, Event] = {}
+        self._last_update = engine.now
+        self._last_allocation = AllocationResult()
+        self._settling = False
+        # Accumulated statistics
+        self.total_work_done = 0.0
+        self.busy_time = 0.0
+        self.pressure_time_integral = 0.0
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def context(self, context_id: int) -> SimContext:
+        """Look up a context by id."""
+        for context in self.contexts:
+            if context.context_id == context_id:
+                return context
+        raise KeyError(f"unknown context {context_id}")
+
+    def submit(self, kernel: StageKernel, context: SimContext) -> None:
+        """Assign a stage kernel to a context and (re)settle the device."""
+        context.enqueue(kernel)
+        self._settle()
+
+    def abort(self, kernel: StageKernel) -> None:
+        """Cancel a kernel wherever it is (queued or resident)."""
+        kernel.aborted = True
+        event = self._completion_events.pop(kernel.kernel_id, None)
+        if event is not None:
+            self.engine.cancel(event)
+        context = (
+            self.context(kernel.context_id) if kernel.context_id is not None else None
+        )
+        if context is not None:
+            context.remove(kernel)
+        self._settle()
+
+    def resident_kernels(self) -> List[StageKernel]:
+        """All kernels currently on streams, across contexts."""
+        kernels: List[StageKernel] = []
+        for context in self.contexts:
+            kernels.extend(context.resident_kernels())
+        return kernels
+
+    @property
+    def last_allocation(self) -> AllocationResult:
+        """Result of the most recent allocation pass."""
+        return self._last_allocation
+
+    # ------------------------------------------------------------------
+    # Change-point handling
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Advance progress, dispatch queues, re-allocate, re-arm events."""
+        if self._settling:
+            # A nested mutation (from a completion callback) will be folded
+            # into the enclosing settle pass.
+            return
+        self._settling = True
+        try:
+            self._advance_progress()
+            for context in self.contexts:
+                newly = context.dispatch_ready()
+                if self.trace is not None:
+                    for kernel in newly:
+                        kernel.dispatched_at = self.engine.now
+                        self.trace.record(
+                            self.engine.now,
+                            "kernel_start",
+                            kernel=kernel.label,
+                            context=context.context_id,
+                            priority=kernel.priority.name,
+                        )
+                else:
+                    for kernel in newly:
+                        kernel.dispatched_at = self.engine.now
+            self._reallocate()
+        finally:
+            self._settling = False
+
+    def _advance_progress(self) -> None:
+        now = self.engine.now
+        elapsed = now - self._last_update
+        if elapsed <= 0:
+            return
+        aggregate = 0.0
+        for kernel in self.resident_kernels():
+            kernel.advance(elapsed)
+            aggregate += kernel.rate
+        self.total_work_done += aggregate * elapsed
+        if aggregate > 0:
+            self.busy_time += elapsed
+        self.pressure_time_integral += self._last_allocation.pressure * elapsed
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        result = compute_allocation(
+            self.contexts,
+            float(self.spec.total_sms),
+            self.spec.aggregate_speedup_cap,
+            self.params,
+        )
+        self._last_allocation = result
+        if self.trace is not None:
+            self.trace.record(
+                self.engine.now,
+                "allocation",
+                pressure=round(result.pressure, 4),
+                aggregate_rate=round(result.aggregate_rate, 3),
+                resident=len(result.rates),
+            )
+        # Re-arm one completion event per resident kernel.
+        for event in self._completion_events.values():
+            self.engine.cancel(event)
+        self._completion_events.clear()
+        for kernel in self.resident_kernels():
+            remaining = kernel.time_to_completion()
+            if remaining == float("inf"):
+                continue
+            self._completion_events[kernel.kernel_id] = self.engine.schedule(
+                remaining,
+                lambda k=kernel: self._on_completion(k),
+                tag=f"complete:{kernel.label}",
+            )
+
+    def _on_completion(self, kernel: StageKernel) -> None:
+        self._completion_events.pop(kernel.kernel_id, None)
+        self._advance_progress()
+        if kernel.aborted:
+            return
+        if not kernel.is_complete:
+            if kernel.time_to_completion() < 1e-9:
+                # Residual below the simulator's time resolution: finishing
+                # "now" is indistinguishable from finishing 1 ns from now,
+                # and re-arming would spin at the current instant forever.
+                kernel.force_complete()
+            else:
+                # A stale event raced a same-instant reallocation; re-arm.
+                self._reallocate()
+                return
+        context = self.context(kernel.context_id)
+        context.remove(kernel)
+        if self.trace is not None:
+            self.trace.record(
+                self.engine.now,
+                "kernel_done",
+                kernel=kernel.label,
+                context=context.context_id,
+            )
+        callback = self.on_kernel_complete
+        self._settling = True
+        try:
+            if callback is not None:
+                callback(kernel)
+        finally:
+            self._settling = False
+        self._settle()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Busy fraction of wall time since construction."""
+        now = self.engine.now if now is None else now
+        if now <= 0:
+            return 0.0
+        return self.busy_time / now
+
+    def mean_pressure(self, now: Optional[float] = None) -> float:
+        """Time-averaged over-subscription pressure."""
+        now = self.engine.now if now is None else now
+        if now <= 0:
+            return 0.0
+        return self.pressure_time_integral / now

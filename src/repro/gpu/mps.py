@@ -1,0 +1,83 @@
+"""Partition (re)configuration cost models.
+
+The paper's headline mechanism is the **zero-configuration partition
+switch**: SGPRS pre-creates a pool of CUDA contexts with fixed SM
+allocations, so moving a stage between partitions never pays setup latency.
+A conventional spatial partitioner instead reconfigures a partition whenever
+it must serve a different task (model state, allocator percentage, context
+initialisation), which is pure lost wall time.
+
+These policies produce the ``setup_time`` attached to stage kernels when
+they are bound to a context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+from repro.gpu.context import SimContext
+
+
+class ReconfigurationPolicy(Protocol):
+    """Maps (context, task) to the setup latency of the next kernel."""
+
+    def setup_time(self, context: SimContext, task_name: str) -> float:
+        """Setup latency (seconds) to run ``task_name`` on ``context`` now.
+
+        Implementations may mutate bookkeeping (e.g. record the context as
+        now configured for the task).
+        """
+        ...
+
+
+class ZeroConfigPool:
+    """SGPRS' pre-created context pool: switching is free.
+
+    The pool's contexts were created, sized and warmed at admission time
+    (offline phase), so online stage placement pays nothing.
+    """
+
+    def setup_time(self, context: SimContext, task_name: str) -> float:
+        """Always zero."""
+        context.configured_task = task_name
+        return 0.0
+
+
+class SpatialReconfig:
+    """Naive spatial partitioning: task switches reconfigure the partition.
+
+    Parameters
+    ----------
+    base_cost:
+        Fixed latency of re-targeting a partition at another task (context
+        state swap, allocator reconfiguration).
+    per_task_cost:
+        Additional latency per distinct task sharing the partition — more
+        resident model state means more eviction/reload work per switch.
+        This is what bends the naive scheduler's throughput *down* as the
+        task count grows past the pivot point (paper Figs. 3a/4a).
+    """
+
+    def __init__(self, base_cost: float = 1.0e-4, per_task_cost: float = 1.3e-5) -> None:
+        if base_cost < 0 or per_task_cost < 0:
+            raise ValueError("reconfiguration costs must be >= 0")
+        self.base_cost = base_cost
+        self.per_task_cost = per_task_cost
+        self._tasks_per_context: Dict[int, set] = {}
+
+    def register_task(self, context: SimContext, task_name: str) -> None:
+        """Record that ``task_name`` is pinned to ``context`` (admission)."""
+        self._tasks_per_context.setdefault(context.context_id, set()).add(task_name)
+
+    def distinct_tasks(self, context: SimContext) -> int:
+        """Number of tasks pinned to a context."""
+        return len(self._tasks_per_context.get(context.context_id, ()))
+
+    def setup_time(self, context: SimContext, task_name: str) -> float:
+        """Zero when the partition already serves the task, else the
+        reconfiguration latency."""
+        self._tasks_per_context.setdefault(context.context_id, set()).add(task_name)
+        if context.configured_task == task_name:
+            return 0.0
+        context.configured_task = task_name
+        return self.base_cost + self.per_task_cost * self.distinct_tasks(context)

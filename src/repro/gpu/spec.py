@@ -1,0 +1,57 @@
+"""Device specifications.
+
+A :class:`GpuDeviceSpec` carries the *architectural* constants of the
+simulated GPU; the behavioural constants (speedup curves, cost rates) live
+in :class:`repro.speedup.calibration.DeviceCalibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuDeviceSpec:
+    """Architectural constants of one GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    total_sms:
+        Number of streaming multiprocessors.
+    high_priority_streams / low_priority_streams:
+        Streams created per CUDA context.  The paper uses two of each,
+        capping concurrency at four stages per context (Section IV-B3).
+    aggregate_speedup_cap:
+        Device-wide ceiling on the summed progress rate of all resident
+        kernels, in single-SM-equivalents.  Models the DRAM/L2 saturation
+        that bounds total inference throughput no matter how the SMs are
+        partitioned; without it, infinitely fine partitioning would yield
+        nearly linear aggregate speedup, which real GPUs do not show.
+    """
+
+    name: str = "RTX 2080 Ti"
+    total_sms: int = 68
+    high_priority_streams: int = 2
+    low_priority_streams: int = 2
+    aggregate_speedup_cap: float = 53.5
+
+    def __post_init__(self) -> None:
+        if self.total_sms < 1:
+            raise ValueError(f"total_sms must be >= 1, got {self.total_sms}")
+        if self.high_priority_streams < 0 or self.low_priority_streams < 0:
+            raise ValueError("stream counts must be >= 0")
+        if self.high_priority_streams + self.low_priority_streams < 1:
+            raise ValueError("need at least one stream per context")
+        if self.aggregate_speedup_cap <= 0:
+            raise ValueError("aggregate_speedup_cap must be positive")
+
+    @property
+    def streams_per_context(self) -> int:
+        """Maximum concurrently resident stages per context."""
+        return self.high_priority_streams + self.low_priority_streams
+
+
+#: The paper's device: 68 SMs, 2 high + 2 low priority streams per context.
+RTX_2080_TI = GpuDeviceSpec()

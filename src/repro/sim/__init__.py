@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic event engine the GPU simulator and
+the schedulers are built on, together with tracing and metrics collection.
+
+Public classes
+--------------
+SimulationEngine
+    Binary-heap discrete event engine with stable FIFO tie-breaking.
+Event
+    Handle returned by :meth:`SimulationEngine.schedule`; can be cancelled.
+TraceRecorder
+    Append-only structured execution trace.
+MetricsCollector / JobRecord
+    Real-time metrics: total FPS, deadline miss rate, response times.
+"""
+
+from repro.sim.clock import TIME_EPS, times_close
+from repro.sim.engine import Event, SimulationEngine, SimulationError
+from repro.sim.metrics import JobRecord, MetricsCollector, StageRecord
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "TIME_EPS",
+    "times_close",
+    "Event",
+    "SimulationEngine",
+    "SimulationError",
+    "JobRecord",
+    "StageRecord",
+    "MetricsCollector",
+    "TraceRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,231 @@
+"""Real-time metrics: total FPS, deadline miss rate, response times.
+
+The paper evaluates schedulers with two metrics (Section V):
+
+* **Total FPS** — completed inference frames per second summed over all
+  tasks, measured over a steady-state window.
+* **Deadline Miss Rate (DMR)** — the fraction of job instances that did not
+  complete by their absolute deadline.
+
+Both are computed from per-job :class:`JobRecord` entries collected by a
+:class:`MetricsCollector`.  Stage-level records are kept as well so the
+scheduler's virtual-deadline behaviour can be analysed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one periodic job instance."""
+
+    task_name: str
+    job_index: int
+    release_time: float
+    absolute_deadline: float
+    finish_time: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the job ran to completion (regardless of timeliness)."""
+        return self.finish_time is not None
+
+    def missed(self, now: float) -> bool:
+        """Whether the job's deadline is missed as of simulated time ``now``.
+
+        A job misses when it finished after its deadline, or has not finished
+        and its deadline already passed.
+        """
+        if self.finish_time is not None:
+            return self.finish_time > self.absolute_deadline
+        return now > self.absolute_deadline
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion latency (finish - release), or ``None`` if unfinished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.release_time
+
+
+@dataclass
+class StageRecord:
+    """Lifecycle of one stage instance within a job."""
+
+    task_name: str
+    job_index: int
+    stage_index: int
+    release_time: float
+    virtual_deadline: float
+    finish_time: Optional[float] = None
+    context_id: Optional[int] = None
+    priority: Optional[str] = None
+
+    def missed(self, now: float) -> bool:
+        """Whether the stage missed its virtual deadline as of ``now``."""
+        if self.finish_time is not None:
+            return self.finish_time > self.virtual_deadline
+        return now > self.virtual_deadline
+
+
+class MetricsCollector:
+    """Collects job/stage records and derives the paper's two metrics.
+
+    Parameters
+    ----------
+    warmup:
+        Jobs *released* before ``warmup`` seconds are excluded from DMR and
+        completions before ``warmup`` are excluded from FPS, so transients
+        from an empty system do not bias steady-state numbers.
+    """
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        self.warmup = warmup
+        self.jobs: List[JobRecord] = []
+        self.stages: List[StageRecord] = []
+        self._job_index: Dict[Tuple[str, int], JobRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def job_released(
+        self, task_name: str, job_index: int, release_time: float, deadline: float
+    ) -> JobRecord:
+        """Record a new job release and return its record."""
+        record = JobRecord(
+            task_name=task_name,
+            job_index=job_index,
+            release_time=release_time,
+            absolute_deadline=deadline,
+        )
+        self.jobs.append(record)
+        self._job_index[(task_name, job_index)] = record
+        return record
+
+    def job_completed(self, task_name: str, job_index: int, finish_time: float) -> None:
+        """Record the completion of a previously released job."""
+        key = (task_name, job_index)
+        record = self._job_index.get(key)
+        if record is None:
+            raise KeyError(f"completion for unknown job {key}")
+        if record.finish_time is not None:
+            raise ValueError(f"job {key} completed twice")
+        record.finish_time = finish_time
+
+    def stage_released(
+        self,
+        task_name: str,
+        job_index: int,
+        stage_index: int,
+        release_time: float,
+        virtual_deadline: float,
+    ) -> StageRecord:
+        """Record a stage release and return its record."""
+        record = StageRecord(
+            task_name=task_name,
+            job_index=job_index,
+            stage_index=stage_index,
+            release_time=release_time,
+            virtual_deadline=virtual_deadline,
+        )
+        self.stages.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def _measured_jobs(self, now: float) -> List[JobRecord]:
+        """Jobs that count toward DMR at time ``now``.
+
+        A job counts when it was released after warmup and its deadline has
+        passed (so its outcome is decided).
+        """
+        return [
+            job
+            for job in self.jobs
+            if job.release_time >= self.warmup and job.absolute_deadline <= now
+        ]
+
+    def total_fps(self, now: float) -> float:
+        """Completed frames per second over the post-warmup window."""
+        window = now - self.warmup
+        if window <= 0.0:
+            return 0.0
+        completed = sum(
+            1
+            for job in self.jobs
+            if job.finish_time is not None and self.warmup <= job.finish_time <= now
+        )
+        return completed / window
+
+    def deadline_miss_rate(self, now: float) -> float:
+        """Fraction of decided post-warmup jobs that missed their deadline."""
+        jobs = self._measured_jobs(now)
+        if not jobs:
+            return 0.0
+        missed = sum(1 for job in jobs if job.missed(now))
+        return missed / len(jobs)
+
+    def per_task_fps(self, now: float) -> Dict[str, float]:
+        """Completed frames per second broken down by task."""
+        window = now - self.warmup
+        out: Dict[str, float] = {}
+        if window <= 0.0:
+            return out
+        for job in self.jobs:
+            if job.finish_time is not None and self.warmup <= job.finish_time <= now:
+                out[job.task_name] = out.get(job.task_name, 0.0) + 1.0
+        return {name: count / window for name, count in out.items()}
+
+    def per_task_dmr(self, now: float) -> Dict[str, float]:
+        """Deadline miss rate broken down by task."""
+        counts: Dict[str, List[int]] = {}
+        for job in self._measured_jobs(now):
+            total_missed = counts.setdefault(job.task_name, [0, 0])
+            total_missed[0] += 1
+            if job.missed(now):
+                total_missed[1] += 1
+        return {
+            name: missed / total for name, (total, missed) in counts.items()
+        }
+
+    def stage_miss_rate(self, now: float) -> float:
+        """Fraction of decided stage instances that missed virtual deadlines."""
+        decided = [
+            s
+            for s in self.stages
+            if s.release_time >= self.warmup and s.virtual_deadline <= now
+        ]
+        if not decided:
+            return 0.0
+        return sum(1 for s in decided if s.missed(now)) / len(decided)
+
+    def response_times(self) -> List[float]:
+        """Response times of all completed post-warmup jobs, sorted."""
+        values = [
+            job.response_time
+            for job in self.jobs
+            if job.response_time is not None and job.release_time >= self.warmup
+        ]
+        return sorted(values)
+
+    def response_time_percentile(self, fraction: float) -> Optional[float]:
+        """Percentile (0..1) of completed-job response times, or ``None``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        values = self.response_times()
+        if not values:
+            return None
+        index = min(len(values) - 1, int(round(fraction * (len(values) - 1))))
+        return values[index]
+
+    def released_count(self) -> int:
+        """Total jobs released (including during warmup)."""
+        return len(self.jobs)
+
+    def completed_count(self) -> int:
+        """Total jobs completed (including during warmup)."""
+        return sum(1 for job in self.jobs if job.finish_time is not None)

@@ -1,0 +1,104 @@
+"""Structured execution tracing.
+
+Every scheduler decision and GPU event of interest is appended to a
+:class:`TraceRecorder` as a :class:`TraceRecord`.  Traces serve three
+purposes: debugging scheduler behaviour, asserting fine-grained properties in
+tests (e.g. "no more than four stages were ever resident in a context"), and
+producing the per-run summaries the analysis package renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated timestamp of the event (seconds).
+    kind:
+        Event category, e.g. ``"stage_dispatch"`` or ``"job_complete"``.
+    fields:
+        Free-form payload describing the event.
+    """
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return ``fields[key]`` or ``default``."""
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Append-only trace with cheap filtering.
+
+    Recording can be disabled wholesale (``enabled=False``) for large
+    parameter sweeps where only aggregate metrics matter; ``record`` then
+    becomes a no-op so hot paths stay cheap.
+    """
+
+    def __init__(self, enabled: bool = True, kinds: Optional[set] = None) -> None:
+        """Create a recorder.
+
+        Parameters
+        ----------
+        enabled:
+            When ``False`` every :meth:`record` call is dropped.
+        kinds:
+            Optional allow-list of record kinds; other kinds are dropped.
+        """
+        self.enabled = enabled
+        self._kinds = kinds
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append a record unless recording is disabled or filtered out."""
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._records.append(TraceRecord(time=time, kind=kind, fields=fields))
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in insertion (= time) order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def where(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        """All records matching an arbitrary predicate."""
+        return [r for r in self._records if predicate(r)]
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of record kinds."""
+        out: Dict[str, int] = {}
+        for record in self._records:
+            out[record.kind] = out.get(record.kind, 0) + 1
+        return out
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent record (optionally of one kind), or ``None``."""
+        if kind is None:
+            return self._records[-1] if self._records else None
+        for record in reversed(self._records):
+            if record.kind == kind:
+                return record
+        return None

@@ -1,0 +1,181 @@
+"""Calibrated cost model for the simulated RTX 2080 Ti.
+
+Two ingredients turn an operator record into simulator time:
+
+1. **Single-SM baseline time** ``t1(op)``: the roofline maximum of compute
+   time (FLOPs over the per-SM throughput) and memory time (bytes over the
+   single-SM achievable bandwidth), plus a fixed kernel-launch overhead that
+   never parallelises.
+2. **Speedup curve** per operation type, fitted so that at 68 SMs the curve
+   reproduces the paper's Fig. 1 values (convolution 32x, max pooling 14x,
+   everything else below 7x).
+
+Constants below were tuned (see ``tests/speedup/test_calibration.py`` and
+EXPERIMENTS.md) so the composite ResNet18 curve reaches ~23x at 68 SMs —
+the paper's headline network-level number — and the absolute single-frame
+latency on the full GPU lands in the few-millisecond range reported for
+ResNet18 on this device class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.dnn.ops import Operator, OpType
+from repro.speedup.model import SaturatingCurve, WidthLimitedCurve, sigma_for_target
+
+#: SM count of the paper's device; Fig. 1 targets are specified at this width.
+REFERENCE_SMS = 68
+
+#: Fig. 1 anchor points: *curve* speedup at 68 SMs per operation type.
+#: Convolution and max pooling anchors sit slightly above the paper's
+#: measured 32x / 14x because a measured curve also pays the constant
+#: kernel-launch overhead; the anchors below make the *measured* isolation
+#: speedups (see :mod:`repro.speedup.measure`) land on the paper's values.
+#: The remaining types are placed so their measured speedups respect the
+#: paper's "failed to exceed 7x" bound, ordered by arithmetic intensity.
+FIG1_SPEEDUP_AT_68: Mapping[OpType, float] = {
+    OpType.CONV2D: 33.0,
+    OpType.MAXPOOL: 16.2,
+    OpType.AVGPOOL: 6.8,
+    OpType.BATCHNORM: 6.3,
+    OpType.RELU: 5.7,
+    OpType.ADD: 4.6,
+    OpType.LINEAR: 3.5,
+    OpType.SOFTMAX: 2.5,
+    OpType.FLATTEN: 2.0,
+}
+
+
+@dataclass(frozen=True)
+class DeviceCalibration:
+    """Tunable constants of the simulated device.
+
+    Attributes
+    ----------
+    name:
+        Device label (cosmetic).
+    total_sms:
+        Physical SM count (68 for the RTX 2080 Ti).
+    compute_rate_per_sm:
+        Achieved FLOP/s of a single SM on DNN kernels.  ~55 GFLOP/s is
+        ~28% of the 2080 Ti's per-SM FP32 peak, a typical achieved fraction
+        for cuDNN convolutions.
+    bandwidth_per_sm:
+        Achievable DRAM bandwidth from a single SM's load/store streams.
+    launch_overhead:
+        Fixed per-kernel launch + sync latency; it never parallelises, so it
+        is what drags the whole-network speedup (23x) below the convolution
+        speedup (32x).
+    elements_per_sm:
+        Output elements one SM can process concurrently; limits the
+        *parallel width* of small kernels (late ResNet layers, FC heads).
+    speedup_targets:
+        Fig. 1 anchors (speedup at 68 SMs) per operation type.
+    """
+
+    name: str = "rtx-2080-ti-sim"
+    total_sms: int = 68
+    compute_rate_per_sm: float = 55e9
+    bandwidth_per_sm: float = 12e9
+    launch_overhead: float = 3e-6
+    elements_per_sm: float = 512.0
+    speedup_targets: Mapping[OpType, float] = field(
+        default_factory=lambda: dict(FIG1_SPEEDUP_AT_68)
+    )
+
+    def __post_init__(self) -> None:
+        if self.total_sms < 2:
+            raise ValueError(f"total_sms must be >= 2, got {self.total_sms}")
+        if self.compute_rate_per_sm <= 0 or self.bandwidth_per_sm <= 0:
+            raise ValueError("device rates must be positive")
+        if self.launch_overhead < 0:
+            raise ValueError("launch_overhead must be >= 0")
+        if self.elements_per_sm <= 0:
+            raise ValueError("elements_per_sm must be positive")
+        for op_type, target in self.speedup_targets.items():
+            if not 1.0 <= target <= self.total_sms:
+                raise ValueError(
+                    f"speedup target for {op_type} must be in "
+                    f"[1, {self.total_sms}], got {target}"
+                )
+
+    def sigma(self, op_type: OpType) -> float:
+        """Serial fraction of one operation type's curve."""
+        return sigma_for_target(self.speedup_targets[op_type], self.total_sms)
+
+
+#: The calibration used throughout the reproduction.
+DEFAULT_CALIBRATION = DeviceCalibration()
+
+_CURVE_CACHE: Dict[int, Dict[OpType, SaturatingCurve]] = {}
+
+
+def operator_curve(op_type: OpType, calibration: DeviceCalibration = DEFAULT_CALIBRATION) -> SaturatingCurve:
+    """Type-level speedup curve (no instance width limit)."""
+    cache = _CURVE_CACHE.setdefault(id(calibration), {})
+    if op_type not in cache:
+        cache[op_type] = SaturatingCurve(calibration.sigma(op_type))
+    return cache[op_type]
+
+
+def operator_width_limit(
+    op: Operator, calibration: DeviceCalibration = DEFAULT_CALIBRATION
+) -> float:
+    """Parallel-width limit of one operator *instance*.
+
+    A kernel processing W elements occupies at most
+    ``W / elements_per_sm`` SMs; below one SM the limit clamps to 1 (the
+    kernel still owns a whole SM while running).  The larger of the input
+    and output tensors governs: reduction kernels (pooling, linear layers)
+    parallelise over their *input*.
+    """
+    from repro.dnn.shapes import element_count
+
+    elements = max(element_count(op.input_shape), element_count(op.output_shape))
+    width = elements / calibration.elements_per_sm
+    return max(1.0, min(float(calibration.total_sms), width))
+
+
+def instance_curve(
+    op: Operator, calibration: DeviceCalibration = DEFAULT_CALIBRATION
+) -> WidthLimitedCurve:
+    """Speedup curve of one operator instance (type curve + width limit)."""
+    return WidthLimitedCurve(
+        inner=operator_curve(op.op_type, calibration),
+        width=operator_width_limit(op, calibration),
+    )
+
+
+def operator_work_time(
+    op: Operator, calibration: DeviceCalibration = DEFAULT_CALIBRATION
+) -> float:
+    """Parallelisable single-SM work time of one operator (seconds).
+
+    Roofline: the larger of compute time and memory time at one SM.
+    Excludes the launch overhead, which is handled separately because it
+    does not shrink with more SMs.
+    """
+    compute_time = op.flops / calibration.compute_rate_per_sm
+    memory_time = op.bytes_moved / calibration.bandwidth_per_sm
+    return max(compute_time, memory_time)
+
+
+def operator_base_time(
+    op: Operator, calibration: DeviceCalibration = DEFAULT_CALIBRATION
+) -> float:
+    """Total single-SM execution time of one operator (seconds)."""
+    return calibration.launch_overhead + operator_work_time(op, calibration)
+
+
+def operator_time_at(
+    op: Operator, sms: float, calibration: DeviceCalibration = DEFAULT_CALIBRATION
+) -> float:
+    """Execution time of one operator at an SM share (seconds)."""
+    if sms <= 0:
+        raise ValueError(f"sms must be positive, got {sms}")
+    curve = instance_curve(op, calibration)
+    return calibration.launch_overhead + operator_work_time(op, calibration) / max(
+        curve.speedup(sms), 1e-12
+    )

@@ -1,0 +1,64 @@
+"""Fitting speedup curves to measured data.
+
+Downstream users with real hardware can measure (SM count, speedup) points
+— e.g. via MPS active-thread-percentage sweeps like the paper's Fig. 1 —
+and fit the serial-fraction model so the simulator mirrors *their* device.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.speedup.model import SaturatingCurve
+
+
+def fit_sigma(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares fit of the serial fraction to measured points.
+
+    The model ``speedup = s / (1 + sigma*(s-1))`` rearranges to the linear
+    relation ``s/speedup - 1 = sigma * (s - 1)``, so the least-squares
+    sigma has the closed form ``sum(x*y) / sum(x*x)`` with
+    ``x = s - 1`` and ``y = s/speedup - 1``.  Points at s=1 carry no
+    information and are ignored; the result is clamped to [0, 1].
+
+    Raises
+    ------
+    ValueError
+        If fewer than one informative point (s > 1) is supplied, or any
+        speedup is non-positive.
+    """
+    numerator = 0.0
+    denominator = 0.0
+    informative = 0
+    for sms, speedup in points:
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup}")
+        if sms <= 1.0:
+            continue
+        x = sms - 1.0
+        y = sms / speedup - 1.0
+        numerator += x * y
+        denominator += x * x
+        informative += 1
+    if informative == 0:
+        raise ValueError("need at least one measurement with sms > 1")
+    sigma = numerator / denominator
+    return min(max(sigma, 0.0), 1.0)
+
+
+def fit_curve(points: Sequence[Tuple[float, float]]) -> SaturatingCurve:
+    """Fit and return a :class:`SaturatingCurve`."""
+    return SaturatingCurve(fit_sigma(points))
+
+
+def fit_quality(
+    curve: SaturatingCurve, points: Sequence[Tuple[float, float]]
+) -> float:
+    """Root-mean-square relative error of a curve against measurements."""
+    if not points:
+        raise ValueError("points must be non-empty")
+    total = 0.0
+    for sms, speedup in points:
+        predicted = curve.speedup(sms)
+        total += ((predicted - speedup) / speedup) ** 2
+    return (total / len(points)) ** 0.5

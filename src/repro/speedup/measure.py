@@ -1,0 +1,126 @@
+"""Isolation measurement harness (regenerates the paper's Fig. 1).
+
+The paper measures per-operation speedup by running each operation in
+isolation on partitions of 1..68 SMs.  This module does the analogous
+experiment against the simulator's cost model: it evaluates operator
+execution times at each SM count and reports speedup relative to one SM.
+
+Measuring per *type* aggregates all instances of the type in the network
+and reports the widest instance's curve (the paper benchmarks the
+representative large kernels — e.g. the stem convolution — rather than the
+grid-limited late layers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Operator, OpType, output_elements
+from repro.speedup.calibration import (
+    DEFAULT_CALIBRATION,
+    DeviceCalibration,
+    operator_time_at,
+)
+from repro.speedup.composite import composite_for_ops
+
+
+def default_sm_grid(total_sms: int) -> List[int]:
+    """SM counts sampled by the Fig. 1 sweep: 1, 2, 4, ... up to the device."""
+    grid = [1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64]
+    return [s for s in grid if s < total_sms] + [total_sms]
+
+
+def widest_instance(graph: LayerGraph, op_type: OpType) -> Optional[Operator]:
+    """The instance of ``op_type`` with the largest output tensor.
+
+    ``None`` when the network has no such operator.  Zero-cost marker nodes
+    are skipped.
+    """
+    candidates = [
+        op
+        for op in graph
+        if op.op_type is op_type and (op.flops > 0 or op.bytes_moved > 0)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=output_elements)
+
+
+def measure_operator_curve(
+    op: Operator,
+    sm_counts: Sequence[int],
+    calibration: DeviceCalibration = DEFAULT_CALIBRATION,
+) -> List[Tuple[int, float]]:
+    """Speedup of one operator instance at each SM count, relative to 1 SM."""
+    base = operator_time_at(op, 1, calibration)
+    return [
+        (sms, base / operator_time_at(op, sms, calibration)) for sms in sm_counts
+    ]
+
+
+def measure_op_speedups(
+    graph: LayerGraph,
+    sm_counts: Optional[Sequence[int]] = None,
+    op_types: Optional[Iterable[OpType]] = None,
+    calibration: DeviceCalibration = DEFAULT_CALIBRATION,
+) -> Dict[OpType, List[Tuple[int, float]]]:
+    """Fig. 1 sweep: per-type isolation speedup curves for one network.
+
+    Parameters
+    ----------
+    graph:
+        Network whose operators are benchmarked (the paper uses ResNet18).
+    sm_counts:
+        SM counts to sample; defaults to :func:`default_sm_grid`.
+    op_types:
+        Types to measure; defaults to every type present in the graph.
+
+    Returns
+    -------
+    dict
+        Type -> list of (sms, speedup) points for the widest instance.
+    """
+    if sm_counts is None:
+        sm_counts = default_sm_grid(calibration.total_sms)
+    if op_types is None:
+        seen = []
+        for op in graph:
+            if op.op_type not in seen and (op.flops > 0 or op.bytes_moved > 0):
+                seen.append(op.op_type)
+        op_types = seen
+    results: Dict[OpType, List[Tuple[int, float]]] = {}
+    for op_type in op_types:
+        instance = widest_instance(graph, op_type)
+        if instance is None:
+            continue
+        results[op_type] = measure_operator_curve(instance, sm_counts, calibration)
+    return results
+
+
+def measure_network_speedup(
+    graph: LayerGraph,
+    sm_counts: Optional[Sequence[int]] = None,
+    calibration: DeviceCalibration = DEFAULT_CALIBRATION,
+) -> List[Tuple[int, float]]:
+    """Whole-network isolation speedup curve (the ResNet18 line in Fig. 1)."""
+    if sm_counts is None:
+        sm_counts = default_sm_grid(calibration.total_sms)
+    composite = composite_for_ops(graph.name, graph.topological_order(), calibration)
+    return [(sms, composite.speedup(sms)) for sms in sm_counts]
+
+
+def speedup_at(
+    points: Sequence[Tuple[int, float]], sms: int
+) -> float:
+    """Look up the speedup at one SM count in a measured curve.
+
+    Raises
+    ------
+    KeyError
+        If the SM count was not sampled.
+    """
+    for point_sms, speedup in points:
+        if point_sms == sms:
+            return speedup
+    raise KeyError(f"SM count {sms} not in measured curve")

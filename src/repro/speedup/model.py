@@ -1,0 +1,166 @@
+"""Saturating speedup-curve primitives.
+
+The paper's Fig. 1 shows per-operation speedup that rises steeply for the
+first few SMs and then flattens.  We model each curve with the classic
+*serial-fraction* (linear-overhead) law
+
+    speedup(s) = s / (1 + sigma * (s - 1))
+
+which satisfies speedup(1) = 1, is strictly increasing and concave, and
+saturates toward ``1/sigma``.  ``sigma`` is fitted per operation type so the
+curve passes through the paper's measured value at 68 SMs
+(:func:`sigma_for_target`).
+
+A second effect limits parallelism per *instance*: a kernel whose output has
+few elements cannot occupy many SMs regardless of the operation type.
+:class:`WidthLimitedCurve` clamps the SM count fed to an underlying curve.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Tuple
+
+
+class SpeedupCurve(Protocol):
+    """Anything mapping an SM count to a speedup factor.
+
+    Implementations must satisfy ``speedup(1) == 1`` (within float error)
+    and be non-decreasing in ``sms``.
+    """
+
+    def speedup(self, sms: float) -> float:
+        """Speedup at ``sms`` streaming multiprocessors (may be fractional)."""
+        ...
+
+
+def sigma_for_target(target_speedup: float, at_sms: float) -> float:
+    """Serial fraction that makes the curve hit ``target_speedup`` at ``at_sms``.
+
+    Solves ``at_sms / (1 + sigma*(at_sms-1)) == target_speedup``.
+
+    Raises
+    ------
+    ValueError
+        If the target is infeasible (< 1 or > at_sms).
+    """
+    if at_sms <= 1:
+        raise ValueError(f"at_sms must exceed 1, got {at_sms}")
+    if not 1.0 <= target_speedup <= at_sms:
+        raise ValueError(
+            f"target speedup {target_speedup} infeasible at {at_sms} SMs "
+            f"(must lie in [1, {at_sms}])"
+        )
+    return (at_sms / target_speedup - 1.0) / (at_sms - 1.0)
+
+
+@dataclass(frozen=True)
+class SaturatingCurve:
+    """Serial-fraction speedup law ``s / (1 + sigma*(s-1))``.
+
+    Attributes
+    ----------
+    sigma:
+        Serial fraction in [0, 1].  0 is perfect linear speedup; the curve
+        saturates toward ``1/sigma``.
+    """
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sigma <= 1.0:
+            raise ValueError(f"sigma must be in [0, 1], got {self.sigma}")
+
+    def speedup(self, sms: float) -> float:
+        """Speedup at a (possibly fractional) SM count."""
+        if sms <= 0.0:
+            return 0.0
+        if sms <= 1.0:
+            # Sub-SM shares degrade linearly: half an SM does half the work.
+            return sms
+        return sms / (1.0 + self.sigma * (sms - 1.0))
+
+    @property
+    def asymptote(self) -> float:
+        """Least upper bound of the curve (``1/sigma``; inf when sigma=0)."""
+        if self.sigma == 0.0:
+            return float("inf")
+        return 1.0 / self.sigma
+
+    def sms_for_fraction(self, fraction: float, reference_sms: float) -> float:
+        """Smallest SM count reaching ``fraction`` of speedup at ``reference_sms``.
+
+        Used to derive *width demands*: the SM count beyond which additional
+        allocation is mostly wasted.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        target = fraction * self.speedup(reference_sms)
+        if target <= 1.0:
+            return target
+        # Invert s / (1 + sigma*(s-1)) = target  =>
+        # s * (1 - sigma*target) = target * (1 - sigma)
+        denominator = 1.0 - self.sigma * target
+        if denominator <= 0.0:
+            return reference_sms
+        return min(reference_sms, target * (1.0 - self.sigma) / denominator)
+
+
+@dataclass(frozen=True)
+class WidthLimitedCurve:
+    """Clamp the SM count fed to an inner curve at a parallel-width limit.
+
+    Models grid-size-limited kernels: an operator with W parallel work units
+    gains nothing beyond ``width`` SMs.
+    """
+
+    inner: SaturatingCurve
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.width < 1.0:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+
+    def speedup(self, sms: float) -> float:
+        """Speedup with the SM count clamped at the width limit."""
+        return self.inner.speedup(min(sms, self.width))
+
+
+class TabulatedCurve:
+    """Piecewise-linear curve through measured (sms, speedup) points.
+
+    Used to replay measured curves (e.g. from the isolation harness) back
+    into the model, and to let downstream users plug in their own hardware
+    measurements.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        """Create from (sms, speedup) pairs; at least two, strictly
+        increasing in sms, non-decreasing in speedup."""
+        if len(points) < 2:
+            raise ValueError("need at least two calibration points")
+        ordered = sorted(points)
+        sms_values = [p[0] for p in ordered]
+        speedups = [p[1] for p in ordered]
+        if any(b <= a for a, b in zip(sms_values, sms_values[1:])):
+            raise ValueError("sms values must be strictly increasing")
+        if any(b < a for a, b in zip(speedups, speedups[1:])):
+            raise ValueError("speedup must be non-decreasing in sms")
+        if any(s <= 0 for s in speedups):
+            raise ValueError("speedups must be positive")
+        self._sms: List[float] = sms_values
+        self._speedup: List[float] = speedups
+
+    def speedup(self, sms: float) -> float:
+        """Linear interpolation, clamped at both ends."""
+        if sms <= self._sms[0]:
+            # Degrade proportionally below the first point.
+            return self._speedup[0] * max(sms, 0.0) / self._sms[0]
+        if sms >= self._sms[-1]:
+            return self._speedup[-1]
+        index = bisect.bisect_right(self._sms, sms)
+        x0, x1 = self._sms[index - 1], self._sms[index]
+        y0, y1 = self._speedup[index - 1], self._speedup[index]
+        ratio = (sms - x0) / (x1 - x0)
+        return y0 + ratio * (y1 - y0)

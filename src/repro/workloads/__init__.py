@@ -1,0 +1,29 @@
+"""Workload generation and the paper's evaluation scenarios."""
+
+from repro.workloads.generator import (
+    identical_periodic_tasks,
+    mixed_task_set,
+    clone_task,
+)
+from repro.workloads.scenarios import (
+    SCENARIO_1,
+    SCENARIO_2,
+    OVERSUBSCRIPTION_LEVELS,
+    Scenario,
+    SweepPoint,
+    run_scenario_sweep,
+    sweep_point,
+)
+
+__all__ = [
+    "identical_periodic_tasks",
+    "mixed_task_set",
+    "clone_task",
+    "Scenario",
+    "SCENARIO_1",
+    "SCENARIO_2",
+    "OVERSUBSCRIPTION_LEVELS",
+    "SweepPoint",
+    "run_scenario_sweep",
+    "sweep_point",
+]

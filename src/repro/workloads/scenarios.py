@@ -1,0 +1,133 @@
+"""The paper's two evaluation scenarios (Section V).
+
+Scenario 1: a pool of **two** contexts; Scenario 2: a pool of **three**.
+Each scenario runs the naive baseline plus SGPRS at over-subscription
+levels 1.0x, 1.5x and 2.0x, sweeping the number of identical ResNet18
+tasks and reporting total FPS (Figs. 3a/4a) and deadline miss rate
+(Figs. 3b/4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.naive import NaiveScheduler
+from repro.core.runner import RunConfig, RunResult, run_simulation
+from repro.core.scheduler import SchedulerBase
+from repro.core.sgprs import SgprsScheduler
+from repro.gpu.spec import RTX_2080_TI, GpuDeviceSpec
+from repro.workloads.generator import (
+    DEFAULT_NUM_STAGES,
+    DEFAULT_PERIOD,
+    identical_periodic_tasks,
+)
+
+#: The over-subscription levels the paper evaluates (SGPRS_os notation).
+OVERSUBSCRIPTION_LEVELS: Tuple[float, ...] = (1.0, 1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation scenario: a context pool size."""
+
+    name: str
+    num_contexts: int
+
+    def pool(
+        self, oversubscription: float, spec: GpuDeviceSpec = RTX_2080_TI
+    ) -> ContextPoolConfig:
+        """Pool config at one over-subscription level."""
+        return ContextPoolConfig.from_oversubscription(
+            self.num_contexts, oversubscription, spec
+        )
+
+
+#: Scenario 1: two contexts (paper Fig. 3).
+SCENARIO_1 = Scenario(name="scenario1", num_contexts=2)
+#: Scenario 2: three contexts (paper Fig. 4).
+SCENARIO_2 = Scenario(name="scenario2", num_contexts=3)
+
+
+@dataclass
+class SweepPoint:
+    """One (scheduler variant, task count) measurement."""
+
+    variant: str
+    num_tasks: int
+    total_fps: float
+    dmr: float
+    utilization: float
+
+
+def sweep_point(
+    scenario: Scenario,
+    variant: str,
+    num_tasks: int,
+    duration: float = 6.0,
+    warmup: float = 1.5,
+    spec: GpuDeviceSpec = RTX_2080_TI,
+    num_stages: int = DEFAULT_NUM_STAGES,
+    period: float = DEFAULT_PERIOD,
+) -> SweepPoint:
+    """Run one point of a scenario sweep.
+
+    ``variant`` is ``"naive"`` or ``"sgprs_<os>"`` with ``<os>`` one of the
+    over-subscription levels, e.g. ``"sgprs_1.5"``.
+    """
+    scheduler: Type[SchedulerBase]
+    if variant == "naive":
+        scheduler = NaiveScheduler
+        oversubscription = 1.0
+        task_stages = 1  # the naive baseline does not divide tasks
+    elif variant.startswith("sgprs_"):
+        scheduler = SgprsScheduler
+        oversubscription = float(variant.split("_", 1)[1])
+        task_stages = num_stages
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    pool = scenario.pool(oversubscription, spec)
+    tasks = identical_periodic_tasks(
+        count=num_tasks,
+        nominal_sms=pool.sms_per_context,
+        period=period,
+        num_stages=task_stages,
+    )
+    result: RunResult = run_simulation(
+        tasks,
+        RunConfig(pool=pool, scheduler=scheduler, duration=duration, warmup=warmup),
+    )
+    return SweepPoint(
+        variant=variant,
+        num_tasks=num_tasks,
+        total_fps=result.total_fps,
+        dmr=result.dmr,
+        utilization=result.utilization,
+    )
+
+
+def default_variants() -> List[str]:
+    """Naive plus the three SGPRS over-subscription variants."""
+    return ["naive"] + [f"sgprs_{os:g}" for os in OVERSUBSCRIPTION_LEVELS]
+
+
+def run_scenario_sweep(
+    scenario: Scenario,
+    task_counts: Sequence[int],
+    variants: Optional[Sequence[str]] = None,
+    duration: float = 6.0,
+    warmup: float = 1.5,
+) -> Dict[str, List[SweepPoint]]:
+    """Full sweep of one scenario: variant -> points ordered by task count.
+
+    Regenerates the data behind Figs. 3 and 4 (scenario 1 and 2).
+    """
+    variants = list(variants) if variants is not None else default_variants()
+    results: Dict[str, List[SweepPoint]] = {variant: [] for variant in variants}
+    for variant in variants:
+        for count in task_counts:
+            results[variant].append(
+                sweep_point(scenario, variant, count, duration, warmup)
+            )
+    return results

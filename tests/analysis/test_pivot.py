@@ -1,0 +1,99 @@
+"""Unit tests for pivot detection and schedulability estimates."""
+
+import pytest
+
+from repro.analysis.pivot import find_pivot, pivot_table
+from repro.analysis.schedulability import (
+    naive_capacity_estimate,
+    sgprs_capacity_estimate,
+    utilization_bound_tasks,
+)
+from repro.dnn.resnet import build_resnet18
+from repro.gpu.spec import RTX_2080_TI
+from repro.speedup.composite import composite_for_ops
+from repro.workloads.scenarios import SweepPoint
+
+
+def points(*pairs):
+    return [
+        SweepPoint(variant="v", num_tasks=n, total_fps=0.0, dmr=d,
+                   utilization=0.0)
+        for n, d in pairs
+    ]
+
+
+class TestFindPivot:
+    def test_simple_pivot(self):
+        assert find_pivot(points((1, 0.0), (2, 0.0), (3, 0.1))) == 2
+
+    def test_all_feasible(self):
+        assert find_pivot(points((1, 0.0), (2, 0.0))) == 2
+
+    def test_none_feasible(self):
+        assert find_pivot(points((1, 0.5), (2, 0.9))) is None
+
+    def test_tolerance(self):
+        data = points((1, 0.0), (2, 0.005), (3, 0.2))
+        assert find_pivot(data) == 1
+        assert find_pivot(data, dmr_tolerance=0.01) == 2
+
+    def test_unordered_input(self):
+        assert find_pivot(points((3, 0.1), (1, 0.0), (2, 0.0))) == 2
+
+    def test_noise_beyond_first_miss_ignored(self):
+        # an isolated zero after misses must not extend the pivot
+        assert find_pivot(points((1, 0.0), (2, 0.3), (3, 0.0))) == 1
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            find_pivot(points((1, 0.0)), dmr_tolerance=-0.1)
+
+
+class TestPivotTable:
+    def test_per_variant(self):
+        sweep = {
+            "a": points((1, 0.0), (2, 0.5)),
+            "b": points((1, 0.0), (2, 0.0)),
+        }
+        table = pivot_table(sweep)
+        assert table == {"a": 1, "b": 2}
+
+
+class TestCapacityEstimates:
+    @pytest.fixture(scope="class")
+    def network(self):
+        graph = build_resnet18()
+        return composite_for_ops("net", graph.topological_order())
+
+    def test_naive_capacity_scenario1(self, network):
+        capacity = naive_capacity_estimate(network, 2, 34.0)
+        # two 34-SM partitions running ~4 ms jobs -> ~500/s
+        assert 400 <= capacity <= 600
+
+    def test_switch_overhead_reduces_capacity(self, network):
+        base = naive_capacity_estimate(network, 2, 34.0)
+        loaded = naive_capacity_estimate(network, 2, 34.0, switch_overhead=1e-3)
+        assert loaded < base
+
+    def test_sgprs_capacity(self, network):
+        capacity = sgprs_capacity_estimate(network, RTX_2080_TI)
+        # the sweep plateaus near 750 fps
+        assert 700 <= capacity <= 800
+
+    def test_utilization_bound(self, network):
+        from repro.core.profiling import prepare_task
+        task = prepare_task(
+            "t", build_resnet18(), period=1 / 30, num_stages=6, nominal_sms=34.0
+        )
+        bound = utilization_bound_tasks(task, 750.0)
+        assert bound == 25
+
+    def test_invalid_inputs(self, network):
+        with pytest.raises(ValueError):
+            naive_capacity_estimate(network, 0, 34.0)
+        from repro.core.profiling import prepare_task
+        task = prepare_task(
+            "t", build_resnet18(), period=1 / 30, num_stages=2, nominal_sms=34.0
+        )
+        with pytest.raises(ValueError):
+            utilization_bound_tasks(task, 0.0)

@@ -1,0 +1,129 @@
+"""Unit tests for the capacity planner and sweep persistence."""
+
+import pytest
+
+from repro.analysis.persistence import (
+    load_sweep,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.analysis.planner import naive_capacity_plan, sgprs_capacity_plan
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.profiling import prepare_task
+from repro.dnn.resnet import build_resnet18
+from repro.gpu.spec import RTX_2080_TI
+from repro.workloads.scenarios import SweepPoint
+
+
+@pytest.fixture(scope="module")
+def resnet_task():
+    return prepare_task(
+        "cam", build_resnet18(), period=1 / 30, num_stages=6, nominal_sms=51.0
+    )
+
+
+@pytest.fixture(scope="module")
+def naive_task():
+    return prepare_task(
+        "cam", build_resnet18(), period=1 / 30, num_stages=1, nominal_sms=34.0
+    )
+
+
+class TestSgprsPlan:
+    def test_pivot_matches_simulated_band(self, resnet_task):
+        """The simulated sweeps pivot at 24-25 tasks; the analytic plan
+        must land in the same band."""
+        pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        plan = sgprs_capacity_plan(resnet_task, pool, RTX_2080_TI)
+        assert 22 <= plan.pivot_tasks <= 27
+
+    def test_throughput_near_measured_plateau(self, resnet_task):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        plan = sgprs_capacity_plan(resnet_task, pool, RTX_2080_TI)
+        # sweep plateau is ~744 fps for this pool
+        assert plan.throughput_jobs_per_second == pytest.approx(744, rel=0.08)
+
+    def test_aggregate_bound_at_high_concurrency(self, resnet_task):
+        pool = ContextPoolConfig.from_oversubscription(3, 1.5, RTX_2080_TI)
+        plan = sgprs_capacity_plan(resnet_task, pool, RTX_2080_TI)
+        assert plan.bound == "aggregate"
+
+    def test_higher_oversubscription_more_contention(self, resnet_task):
+        pool_15 = ContextPoolConfig.from_oversubscription(3, 1.5, RTX_2080_TI)
+        pool_20 = ContextPoolConfig.from_oversubscription(3, 2.0, RTX_2080_TI)
+        plan_15 = sgprs_capacity_plan(resnet_task, pool_15, RTX_2080_TI)
+        plan_20 = sgprs_capacity_plan(resnet_task, pool_20, RTX_2080_TI)
+        assert plan_15.throughput_jobs_per_second > (
+            plan_20.throughput_jobs_per_second
+        )
+
+
+class TestNaivePlan:
+    def test_pivot_matches_simulated_band(self, naive_task):
+        """The simulated naive pivot is 14; the plan must be close."""
+        pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+        plan = naive_capacity_plan(naive_task, pool)
+        assert 13 <= plan.pivot_tasks <= 17
+
+    def test_throughput_near_measured(self, naive_task):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+        plan = naive_capacity_plan(naive_task, pool)
+        # measured naive saturation is ~465 fps
+        assert plan.throughput_jobs_per_second == pytest.approx(465, rel=0.1)
+
+    def test_switch_overhead_lowers_throughput(self, naive_task):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+        cheap = naive_capacity_plan(naive_task, pool, switch_overhead=0.0)
+        costly = naive_capacity_plan(naive_task, pool, switch_overhead=1e-3)
+        assert costly.throughput_jobs_per_second < (
+            cheap.throughput_jobs_per_second
+        )
+
+    def test_sgprs_plans_more_tasks_than_naive(self, resnet_task, naive_task):
+        sg_pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        nv_pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+        sg = sgprs_capacity_plan(resnet_task, sg_pool, RTX_2080_TI)
+        nv = naive_capacity_plan(naive_task, nv_pool)
+        assert sg.pivot_tasks >= nv.pivot_tasks + 6
+
+    def test_unprofiled_task_rejected(self):
+        from repro.core.task import TaskSpec
+        task = TaskSpec(name="raw", graph=build_resnet18(), period=0.1,
+                        relative_deadline=0.1)
+        pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+        with pytest.raises(ValueError):
+            naive_capacity_plan(task, pool)
+
+
+def sample_sweep():
+    return {
+        "naive": [SweepPoint("naive", 2, 60.0, 0.0, 0.1)],
+        "sgprs_1.5": [
+            SweepPoint("sgprs_1.5", 2, 60.0, 0.0, 0.1),
+            SweepPoint("sgprs_1.5", 4, 120.0, 0.01, 0.2),
+        ],
+    }
+
+
+class TestPersistence:
+    def test_round_trip_dict(self):
+        sweep = sample_sweep()
+        restored = sweep_from_dict(sweep_to_dict(sweep))
+        assert set(restored) == set(sweep)
+        assert restored["sgprs_1.5"][1].total_fps == 120.0
+        assert restored["sgprs_1.5"][1].dmr == 0.01
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sample_sweep(), path)
+        restored = load_sweep(path)
+        assert restored["naive"][0].num_tasks == 2
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            sweep_from_dict({"version": 99, "variants": {}})
+
+    def test_variant_field_restored(self):
+        restored = sweep_from_dict(sweep_to_dict(sample_sweep()))
+        assert restored["naive"][0].variant == "naive"

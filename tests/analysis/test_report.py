@@ -1,0 +1,96 @@
+"""Unit tests for text rendering and CSV export."""
+
+import pytest
+
+from repro.analysis.report import (
+    ascii_chart,
+    render_fig1_table,
+    render_sweep_table,
+    sweep_to_csv,
+)
+from repro.dnn.ops import OpType
+from repro.workloads.scenarios import SweepPoint
+
+
+def sweep():
+    return {
+        "naive": [
+            SweepPoint("naive", 2, 60.0, 0.0, 0.1),
+            SweepPoint("naive", 4, 118.0, 0.05, 0.2),
+        ],
+        "sgprs_1.5": [
+            SweepPoint("sgprs_1.5", 2, 60.0, 0.0, 0.1),
+            SweepPoint("sgprs_1.5", 4, 120.0, 0.0, 0.2),
+        ],
+    }
+
+
+class TestSweepTable:
+    def test_fps_table_contains_all_cells(self):
+        table = render_sweep_table(sweep(), metric="total_fps")
+        assert "naive" in table and "sgprs_1.5" in table
+        assert "118.0" in table and "120.0" in table
+
+    def test_dmr_table_percentages(self):
+        table = render_sweep_table(sweep(), metric="dmr")
+        assert "5.0%" in table
+        assert "0.0%" in table
+
+    def test_title_prefix(self):
+        table = render_sweep_table(sweep(), title="Fig 3a")
+        assert table.startswith("Fig 3a\n")
+
+    def test_missing_points_dashed(self):
+        data = sweep()
+        data["naive"] = data["naive"][:1]
+        table = render_sweep_table(data)
+        assert "-" in table.splitlines()[-1]
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValueError):
+            render_sweep_table(sweep(), metric="latency")
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv = sweep_to_csv(sweep())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "variant,num_tasks,total_fps,dmr,utilization"
+        assert len(lines) == 5
+
+    def test_rows_sorted_by_task_count(self):
+        csv = sweep_to_csv(sweep())
+        naive_rows = [l for l in csv.splitlines() if l.startswith("naive")]
+        assert naive_rows[0].split(",")[1] == "2"
+        assert naive_rows[1].split(",")[1] == "4"
+
+
+class TestFig1Table:
+    def test_contains_ops_and_network(self):
+        op_curves = {
+            OpType.CONV2D: [(1, 1.0), (68, 32.0)],
+            OpType.RELU: [(1, 1.0), (68, 5.5)],
+        }
+        net = [(1, 1.0), (68, 22.7)]
+        table = render_fig1_table(op_curves, net)
+        assert "conv2d" in table
+        assert "32.00" in table
+        assert "22.70" in table
+        assert "resnet18" in table
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_chart(
+            {"a": [(0, 0.0), (10, 10.0)], "b": [(0, 10.0), (10, 0.0)]},
+            title="demo",
+        )
+        assert chart.startswith("demo")
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"a": []}, title="empty")
+
+    def test_flat_series_no_crash(self):
+        chart = ascii_chart({"flat": [(0, 5.0), (10, 5.0)]})
+        assert "o" in chart

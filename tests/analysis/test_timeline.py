@@ -1,0 +1,109 @@
+"""Unit tests for timeline analysis, fed by a real traced run."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    KernelSpan,
+    context_occupancy,
+    extract_spans,
+    render_gantt,
+    stage_latency_breakdown,
+)
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.runner import RunConfig, run_simulation
+from repro.gpu.spec import RTX_2080_TI
+from repro.sim.trace import TraceRecorder
+from repro.workloads.generator import identical_periodic_tasks
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+    tasks = identical_periodic_tasks(6, nominal_sms=pool.sms_per_context)
+    return run_simulation(
+        tasks,
+        RunConfig(pool=pool, duration=1.0, warmup=0.0, record_trace=True),
+    )
+
+
+class TestExtractSpans:
+    def test_spans_found(self, traced_run):
+        spans = extract_spans(traced_run.trace)
+        assert spans
+
+    def test_spans_well_formed(self, traced_run):
+        for span in extract_spans(traced_run.trace):
+            assert span.end >= span.start
+            assert span.context_id in (0, 1)
+            assert span.duration >= 0
+
+    def test_one_span_per_completed_stage(self, traced_run):
+        spans = extract_spans(traced_run.trace)
+        done = traced_run.trace.of_kind("kernel_done")
+        assert len(spans) == len(done)
+
+    def test_unfinished_kernels_dropped(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "kernel_start", kernel="a", context=0)
+        assert extract_spans(trace) == []
+
+
+class TestOccupancy:
+    def test_occupancy_positive_and_bounded(self, traced_run):
+        spans = extract_spans(traced_run.trace)
+        occupancy = context_occupancy(spans, horizon=1.0)
+        for value in occupancy.values():
+            assert 0.0 < value <= 4.0
+
+    def test_manual_occupancy(self):
+        spans = [
+            KernelSpan("a", 0, 0.0, 0.5),
+            KernelSpan("b", 0, 0.0, 1.0),
+        ]
+        occupancy = context_occupancy(spans, horizon=1.0)
+        assert occupancy[0] == pytest.approx(1.5)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            context_occupancy([], horizon=0.0)
+
+
+class TestLatencyBreakdown:
+    def test_breakdown_covers_all_stage_indices(self, traced_run):
+        breakdown = stage_latency_breakdown(traced_run.trace)
+        assert set(breakdown) == set(range(6))
+
+    def test_components_positive(self, traced_run):
+        for queueing, execution in stage_latency_breakdown(
+            traced_run.trace
+        ).values():
+            assert queueing >= 0.0
+            assert execution > 0.0
+
+    def test_execution_dominates_under_light_load(self, traced_run):
+        # 6 tasks on a 2x51-SM pool are nowhere near saturation: most time
+        # is execution, not queueing
+        breakdown = stage_latency_breakdown(traced_run.trace)
+        total_queue = sum(q for q, _ in breakdown.values())
+        total_exec = sum(e for _, e in breakdown.values())
+        assert total_exec > total_queue
+
+
+class TestGantt:
+    def test_renders_a_row_per_active_context(self, traced_run):
+        spans = extract_spans(traced_run.trace)
+        chart = render_gantt(spans, 0.0, 0.5, width=40)
+        # under light load the empty-queue-first policy may keep all work
+        # on context 0; every context that did run gets a row
+        active = {span.context_id for span in spans}
+        for context_id in active:
+            assert f"ctx{context_id} |" in chart
+
+    def test_busy_region_marked(self):
+        spans = [KernelSpan("a", 0, 0.0, 1.0)]
+        chart = render_gantt(spans, 0.0, 1.0, width=10)
+        assert "1111111111" in chart
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt([], 1.0, 1.0)

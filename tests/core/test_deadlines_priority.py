@@ -1,0 +1,116 @@
+"""Unit tests for the offline phase: virtual deadlines and priorities."""
+
+import pytest
+
+from repro.core.deadlines import (
+    absolute_stage_deadlines,
+    apply_virtual_deadlines,
+    assign_virtual_deadlines,
+)
+from repro.core.priority import initial_priority, promote_if_predecessor_missed
+from repro.core.profiling import prepare_task
+from repro.dnn.models import build_simple_cnn
+from repro.gpu.kernel import PriorityLevel
+
+
+class TestVirtualDeadlines:
+    def test_proportional_to_wcet(self):
+        slices = assign_virtual_deadlines([1.0, 3.0], 8.0)
+        assert slices == pytest.approx([2.0, 6.0])
+
+    def test_sum_is_exact(self):
+        wcets = [0.1, 0.22, 0.37, 0.18, 0.05, 0.08]
+        slices = assign_virtual_deadlines(wcets, 1 / 30)
+        assert sum(slices) == pytest.approx(1 / 30, abs=0.0)
+
+    def test_equal_wcets_equal_slices(self):
+        slices = assign_virtual_deadlines([2.0] * 4, 1.0)
+        assert slices == pytest.approx([0.25] * 4)
+
+    def test_single_stage_gets_whole_deadline(self):
+        assert assign_virtual_deadlines([5.0], 0.5) == pytest.approx([0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assign_virtual_deadlines([], 1.0)
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(ValueError):
+            assign_virtual_deadlines([1.0, 0.0], 1.0)
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            assign_virtual_deadlines([1.0], 0.0)
+
+
+class TestAbsoluteDeadlines:
+    def make_task(self):
+        return prepare_task(
+            "t", build_simple_cnn(), period=0.1, num_stages=3, nominal_sms=34.0
+        )
+
+    def test_cumulative_layout(self):
+        task = self.make_task()
+        deadlines = absolute_stage_deadlines(task, release_time=1.0)
+        assert len(deadlines) == 3
+        assert all(b > a for a, b in zip(deadlines, deadlines[1:]))
+        assert deadlines[0] > 1.0
+
+    def test_last_deadline_is_job_deadline(self):
+        task = self.make_task()
+        deadlines = absolute_stage_deadlines(task, release_time=2.0)
+        assert deadlines[-1] == pytest.approx(2.0 + task.relative_deadline)
+
+    def test_requires_offline_phase(self):
+        task = self.make_task()
+        task.stages[0].virtual_deadline = None
+        with pytest.raises(ValueError):
+            absolute_stage_deadlines(task, 0.0)
+
+    def test_apply_virtual_deadlines_idempotent(self):
+        task = self.make_task()
+        before = [s.virtual_deadline for s in task.stages]
+        apply_virtual_deadlines(task)
+        assert [s.virtual_deadline for s in task.stages] == pytest.approx(before)
+
+
+class TestTwoLevelPriority:
+    def test_last_stage_high(self):
+        assert initial_priority(5, 6) is PriorityLevel.HIGH
+
+    def test_earlier_stages_low(self):
+        for index in range(5):
+            assert initial_priority(index, 6) is PriorityLevel.LOW
+
+    def test_single_stage_task_high(self):
+        assert initial_priority(0, 1) is PriorityLevel.HIGH
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            initial_priority(6, 6)
+        with pytest.raises(ValueError):
+            initial_priority(-1, 6)
+        with pytest.raises(ValueError):
+            initial_priority(0, 0)
+
+
+class TestMediumPromotion:
+    def test_low_promoted_when_predecessor_missed(self):
+        result = promote_if_predecessor_missed(PriorityLevel.LOW, True)
+        assert result is PriorityLevel.MEDIUM
+
+    def test_low_stays_low_otherwise(self):
+        result = promote_if_predecessor_missed(PriorityLevel.LOW, False)
+        assert result is PriorityLevel.LOW
+
+    def test_high_never_demoted_or_changed(self):
+        assert (
+            promote_if_predecessor_missed(PriorityLevel.HIGH, True)
+            is PriorityLevel.HIGH
+        )
+
+    def test_medium_stays_medium(self):
+        assert (
+            promote_if_predecessor_missed(PriorityLevel.MEDIUM, True)
+            is PriorityLevel.MEDIUM
+        )

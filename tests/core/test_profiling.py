@@ -1,0 +1,110 @@
+"""Unit tests for offline WCET profiling."""
+
+import pytest
+
+from repro.core.profiling import (
+    WCET_MARGIN,
+    measure_stage_wcet_simulated,
+    prepare_task,
+    profile_stage_wcets,
+)
+from repro.dnn.models import build_simple_cnn
+from repro.dnn.resnet import build_resnet18
+from repro.speedup.composite import composite_for_ops
+
+
+@pytest.fixture(scope="module")
+def cnn_composite():
+    graph = build_simple_cnn()
+    return composite_for_ops("net", graph.topological_order())
+
+
+class TestProfileWcets:
+    def test_margin_applied(self, cnn_composite):
+        wcets = profile_stage_wcets([cnn_composite], sms=34.0)
+        assert wcets[0] == pytest.approx(
+            WCET_MARGIN * cnn_composite.time_at(34.0)
+        )
+
+    def test_smaller_partition_larger_wcet(self, cnn_composite):
+        small = profile_stage_wcets([cnn_composite], sms=8.0)[0]
+        large = profile_stage_wcets([cnn_composite], sms=51.0)[0]
+        assert small > large
+
+    def test_margin_below_one_rejected(self, cnn_composite):
+        with pytest.raises(ValueError):
+            profile_stage_wcets([cnn_composite], sms=34.0, margin=0.9)
+
+    def test_zero_sms_rejected(self, cnn_composite):
+        with pytest.raises(ValueError):
+            profile_stage_wcets([cnn_composite], sms=0.0)
+
+
+class TestAnalyticVsSimulated:
+    """The analytic WCET must match what the execution engine produces."""
+
+    def test_isolated_stage_matches(self, cnn_composite):
+        simulated = measure_stage_wcet_simulated(cnn_composite, sms=34.0)
+        analytic = cnn_composite.time_at(34.0)
+        assert simulated == pytest.approx(analytic, rel=1e-6)
+
+    def test_matches_at_multiple_partition_sizes(self, cnn_composite):
+        for sms in (8.0, 22.7, 51.0):
+            simulated = measure_stage_wcet_simulated(cnn_composite, sms=sms)
+            assert simulated == pytest.approx(
+                cnn_composite.time_at(sms), rel=1e-6
+            )
+
+    def test_resnet_stage_matches(self):
+        graph = build_resnet18()
+        order = graph.topological_order()
+        composite = composite_for_ops("slice", order[: len(order) // 6])
+        simulated = measure_stage_wcet_simulated(composite, sms=34.0)
+        assert simulated == pytest.approx(composite.time_at(34.0), rel=1e-6)
+
+
+class TestPrepareTask:
+    def test_resnet_six_stages(self):
+        task = prepare_task(
+            "cam", build_resnet18(), period=1 / 30, num_stages=6,
+            nominal_sms=34.0,
+        )
+        task.validate()
+        assert task.num_stages == 6
+        assert task.fps == pytest.approx(30.0)
+
+    def test_default_deadline_is_period(self):
+        task = prepare_task(
+            "t", build_simple_cnn(), period=0.05, num_stages=2, nominal_sms=34.0
+        )
+        assert task.relative_deadline == pytest.approx(0.05)
+
+    def test_explicit_deadline(self):
+        task = prepare_task(
+            "t", build_simple_cnn(), period=0.05, num_stages=2,
+            nominal_sms=34.0, relative_deadline=0.04,
+        )
+        assert task.relative_deadline == pytest.approx(0.04)
+
+    def test_virtual_deadlines_sum_to_deadline(self):
+        task = prepare_task(
+            "t", build_resnet18(), period=1 / 30, num_stages=6, nominal_sms=34.0
+        )
+        total = sum(s.virtual_deadline for s in task.stages)
+        assert total == pytest.approx(task.relative_deadline)
+
+    def test_stage_wcets_cover_whole_network(self):
+        task = prepare_task(
+            "t", build_resnet18(), period=1 / 30, num_stages=6, nominal_sms=34.0
+        )
+        whole = composite_for_ops(
+            "net", build_resnet18().topological_order()
+        ).time_at(34.0)
+        assert task.total_wcet == pytest.approx(WCET_MARGIN * whole, rel=1e-6)
+
+    def test_width_demands_reasonable(self):
+        task = prepare_task(
+            "t", build_resnet18(), period=1 / 30, num_stages=6, nominal_sms=34.0
+        )
+        for stage in task.stages:
+            assert 1.0 <= stage.width_demand <= 68.0

@@ -1,0 +1,111 @@
+"""Tests for the sequential (framework-default) baseline."""
+
+import pytest
+
+from repro.core.profiling import prepare_task
+from repro.core.runner import RunConfig, run_simulation
+from repro.core.sequential import (
+    SequentialScheduler,
+    build_sequential_context,
+    sequential_pool_config,
+)
+from repro.core.task import TaskSet
+from repro.dnn.resnet import build_resnet18
+from repro.gpu.allocator import AllocationParams
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import RTX_2080_TI
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsCollector
+
+
+def run_sequential(num_tasks, duration=2.0):
+    engine = SimulationEngine()
+    contexts = build_sequential_context(RTX_2080_TI)
+    device = GpuDevice(engine, RTX_2080_TI, contexts, AllocationParams())
+    metrics = MetricsCollector(warmup=0.5)
+    tasks = TaskSet(
+        [
+            prepare_task(
+                f"t{i}", build_resnet18(), period=1 / 30, num_stages=1,
+                nominal_sms=float(RTX_2080_TI.total_sms),
+                release_offset=i / (30 * num_tasks),
+            )
+            for i in range(num_tasks)
+        ]
+    )
+    scheduler = SequentialScheduler(
+        engine, device, tasks, metrics, horizon=duration
+    )
+    scheduler.start()
+    engine.run_until(duration)
+    return metrics, engine.now
+
+
+class TestSequentialBaseline:
+    def test_single_full_width_context(self):
+        contexts = build_sequential_context(RTX_2080_TI)
+        assert len(contexts) == 1
+        assert contexts[0].nominal_sms == 68.0
+        assert len(contexts[0].streams) == 1
+
+    def test_pool_config_matches(self):
+        pool = sequential_pool_config(RTX_2080_TI)
+        assert pool.num_contexts == 1
+        assert pool.sms_per_context == 68.0
+
+    def test_light_load_meets_deadlines(self):
+        metrics, now = run_sequential(4)
+        assert metrics.deadline_miss_rate(now) == 0.0
+
+    def test_throughput_caps_near_single_stream_rate(self):
+        """One job at a time at ~23x speedup: ~320 fps ceiling, far below
+        SGPRS' ~750 — the paper's underutilization argument."""
+        metrics, now = run_sequential(14)  # 420 fps demand
+        fps = metrics.total_fps(now)
+        assert 270 <= fps <= 340
+
+    def test_underutilization_vs_sgprs(self):
+        from repro.core.context_pool import ContextPoolConfig
+        from repro.workloads.generator import identical_periodic_tasks
+
+        metrics, now = run_sequential(14)
+        sequential_fps = metrics.total_fps(now)
+        pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        tasks = identical_periodic_tasks(14, nominal_sms=pool.sms_per_context)
+        sgprs = run_simulation(
+            tasks, RunConfig(pool=pool, duration=2.0, warmup=0.5)
+        )
+        assert sgprs.total_fps > sequential_fps * 1.25
+        assert sgprs.dmr == 0.0
+
+
+class TestVgg11:
+    def test_validates(self):
+        from repro.dnn.models import build_vgg11
+        build_vgg11().validate()
+
+    def test_conv_and_linear_counts(self):
+        from repro.dnn.models import build_vgg11
+        from repro.dnn.ops import OpType
+        graph = build_vgg11()
+        assert sum(1 for o in graph if o.op_type is OpType.CONV2D) == 8
+        assert sum(1 for o in graph if o.op_type is OpType.LINEAR) == 3
+
+    def test_flops_about_4x_resnet18(self):
+        from repro.dnn.models import build_vgg11
+        vgg = build_vgg11().total_flops()
+        resnet = build_resnet18().total_flops()
+        assert 3.0 <= vgg / resnet <= 5.0
+
+    def test_param_count_matches_torchvision_band(self):
+        # torchvision vgg11_bn: ~132.9M parameters
+        from repro.dnn.models import build_vgg11
+        assert build_vgg11().total_params() == pytest.approx(132.9e6, rel=0.02)
+
+    def test_schedulable_as_task(self):
+        from repro.dnn.models import build_vgg11
+        task = prepare_task(
+            "vgg", build_vgg11(), period=1 / 10, num_stages=6, nominal_sms=34.0
+        )
+        task.validate()
+        assert task.total_wcet > 0

@@ -1,0 +1,64 @@
+"""Unit tests for FLOP / traffic formulas."""
+
+import pytest
+
+from repro.dnn import flops as F
+
+
+class TestConv:
+    def test_conv_flops_formula(self):
+        # out 2x4x4, in 3 channels, 3x3 kernel: 2*4*4 * 3*9 MACs * 2
+        assert F.conv2d_flops(3, (2, 4, 4), 3) == 2 * (2 * 4 * 4 * 3 * 9)
+
+    def test_conv_params(self):
+        assert F.conv2d_params(64, 128, 3) == 128 * 64 * 9
+
+    def test_conv_bytes_counts_io_and_weights(self):
+        params = F.conv2d_params(3, 2, 1)
+        value = F.conv2d_bytes((3, 2, 2), (2, 2, 2), params)
+        assert value == 4 * (12 + 8 + params)
+
+
+class TestElementwise:
+    def test_batchnorm_flops_two_per_element(self):
+        assert F.batchnorm_flops((4, 2, 2)) == 2 * 16
+
+    def test_batchnorm_bytes_read_write(self):
+        assert F.batchnorm_bytes((4, 2, 2)) == 2 * 4 * 16
+
+    def test_relu_flops_one_per_element(self):
+        assert F.relu_flops((10,)) == 10
+
+    def test_add_bytes_three_accesses(self):
+        assert F.add_bytes((10,)) == 3 * 4 * 10
+
+
+class TestPool:
+    def test_pool_flops_window_size(self):
+        assert F.pool_flops((2, 2, 2), kernel=3) == 8 * 9
+
+    def test_pool_bytes(self):
+        assert F.pool_bytes((2, 4, 4), (2, 2, 2)) == 4 * (32 + 8)
+
+
+class TestLinear:
+    def test_linear_flops(self):
+        assert F.linear_flops(512, 1000) == 2 * 512 * 1000
+
+    def test_linear_params_with_bias(self):
+        assert F.linear_params(512, 1000) == 512 * 1000 + 1000
+
+    def test_linear_params_without_bias(self):
+        assert F.linear_params(512, 1000, bias=False) == 512 * 1000
+
+    def test_linear_bytes(self):
+        params = F.linear_params(4, 2)
+        assert F.linear_bytes(4, 2, params) == 4 * (4 + 2 + params)
+
+
+class TestSoftmax:
+    def test_softmax_flops(self):
+        assert F.softmax_flops(1000) == 3000
+
+    def test_softmax_bytes(self):
+        assert F.softmax_bytes(1000) == 8000

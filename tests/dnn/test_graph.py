@@ -1,0 +1,149 @@
+"""Unit tests for the DAG container."""
+
+import pytest
+
+from repro.dnn.graph import GraphError, LayerGraph
+from repro.dnn.ops import Operator, OpType
+
+
+def op(name, flops=10.0):
+    return Operator(
+        name=name,
+        op_type=OpType.RELU,
+        input_shape=(4,),
+        output_shape=(4,),
+        flops=flops,
+        bytes_moved=flops,
+    )
+
+
+def chain(names):
+    graph = LayerGraph("chain")
+    previous = None
+    for name in names:
+        graph.add_node(op(name))
+        if previous is not None:
+            graph.add_edge(previous, name)
+        previous = name
+    return graph
+
+
+class TestConstruction:
+    def test_add_node_and_contains(self):
+        graph = LayerGraph()
+        graph.add_node(op("a"))
+        assert "a" in graph
+        assert len(graph) == 1
+
+    def test_duplicate_name_rejected(self):
+        graph = LayerGraph()
+        graph.add_node(op("a"))
+        with pytest.raises(GraphError):
+            graph.add_node(op("a"))
+
+    def test_edge_to_unknown_node_rejected(self):
+        graph = LayerGraph()
+        graph.add_node(op("a"))
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "ghost")
+        with pytest.raises(GraphError):
+            graph.add_edge("ghost", "a")
+
+    def test_self_loop_rejected(self):
+        graph = LayerGraph()
+        graph.add_node(op("a"))
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        graph = chain(["a", "b"])
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "b")
+
+
+class TestAccessors:
+    def test_node_lookup(self):
+        graph = chain(["a", "b"])
+        assert graph.node("a").name == "a"
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(GraphError):
+            LayerGraph().node("ghost")
+
+    def test_successors_predecessors(self):
+        graph = chain(["a", "b", "c"])
+        assert graph.successors("a") == ["b"]
+        assert graph.predecessors("c") == ["b"]
+
+    def test_sources_sinks(self):
+        graph = chain(["a", "b", "c"])
+        assert graph.sources() == ["a"]
+        assert graph.sinks() == ["c"]
+
+    def test_edges_deterministic(self):
+        graph = chain(["a", "b", "c"])
+        assert graph.edges() == [("a", "b"), ("b", "c")]
+
+    def test_aggregates(self):
+        graph = chain(["a", "b"])
+        assert graph.total_flops() == 20.0
+        assert graph.total_bytes() == 20.0
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self):
+        graph = chain(["a", "b", "c"])
+        assert [o.name for o in graph.topological_order()] == ["a", "b", "c"]
+
+    def test_diamond_order_respects_edges(self):
+        graph = LayerGraph()
+        for name in ["a", "b", "c", "d"]:
+            graph.add_node(op(name))
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "c")
+        graph.add_edge("b", "d")
+        graph.add_edge("c", "d")
+        order = [o.name for o in graph.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_insertion_order_tie_break(self):
+        graph = LayerGraph()
+        for name in ["z", "m", "a"]:  # three independent nodes
+            graph.add_node(op(name))
+        assert [o.name for o in graph.topological_order()] == ["z", "m", "a"]
+
+    def test_cycle_detected(self):
+        graph = chain(["a", "b"])
+        graph.add_node(op("c"))
+        graph.add_edge("b", "c")
+        graph._succ["c"].append("a")  # force a cycle behind the API
+        graph._pred["a"].append("c")
+        with pytest.raises(GraphError):
+            graph.topological_order()
+
+
+class TestValidation:
+    def test_valid_chain(self):
+        chain(["a", "b", "c"]).validate()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            LayerGraph().validate()
+
+    def test_multiple_sources_rejected(self):
+        graph = chain(["a", "b"])
+        graph.add_node(op("orphan_source"))
+        graph.add_edge("orphan_source", "b")
+        with pytest.raises(GraphError, match="sources"):
+            graph.validate()
+
+    def test_multiple_sinks_rejected(self):
+        graph = chain(["a", "b"])
+        graph.add_node(op("extra_sink"))
+        graph.add_edge("a", "extra_sink")
+        with pytest.raises(GraphError, match="sinks"):
+            graph.validate()
+
+    def test_insertion_order_is_topological(self):
+        assert chain(["a", "b", "c"]).insertion_order_is_topological()

@@ -1,0 +1,49 @@
+"""Tests for the auxiliary networks."""
+
+import pytest
+
+from repro.dnn.models import build_mlp, build_simple_cnn
+from repro.dnn.ops import OpType
+
+
+class TestSimpleCnn:
+    def test_validates(self):
+        build_simple_cnn().validate()
+
+    def test_has_two_convs(self):
+        graph = build_simple_cnn()
+        assert sum(1 for o in graph if o.op_type is OpType.CONV2D) == 2
+
+    def test_head_shape(self):
+        graph = build_simple_cnn(num_classes=10)
+        assert graph.node("fc2").output_shape == (10,)
+
+    def test_custom_input_size(self):
+        graph = build_simple_cnn(input_hw=64)
+        assert graph.node("pool2").output_shape == (32, 16, 16)
+
+    def test_much_smaller_than_resnet(self):
+        from repro.dnn.resnet import build_resnet18
+        assert build_simple_cnn().total_flops() < build_resnet18().total_flops() / 50
+
+
+class TestMlp:
+    def test_validates(self):
+        build_mlp().validate()
+
+    def test_depth_controls_linear_count(self):
+        graph = build_mlp(depth=4)
+        linears = [o for o in graph if o.op_type is OpType.LINEAR]
+        assert len(linears) == 5  # 4 hidden + classifier
+
+    def test_has_softmax_head(self):
+        graph = build_mlp()
+        assert graph.sinks() == ["softmax"]
+
+    def test_no_convolutions(self):
+        graph = build_mlp()
+        assert not any(o.op_type is OpType.CONV2D for o in graph)
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            build_mlp(depth=0)

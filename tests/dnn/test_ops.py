@@ -1,0 +1,84 @@
+"""Unit tests for operator records."""
+
+import pytest
+
+from repro.dnn.ops import MEMORY_BOUND_TYPES, Operator, OpType, output_elements
+
+
+def make_op(**overrides):
+    defaults = dict(
+        name="op",
+        op_type=OpType.CONV2D,
+        input_shape=(3, 8, 8),
+        output_shape=(16, 8, 8),
+        flops=1000.0,
+        bytes_moved=2000.0,
+    )
+    defaults.update(overrides)
+    return Operator(**defaults)
+
+
+class TestValidation:
+    def test_valid_operator(self):
+        op = make_op()
+        assert op.flops == 1000.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_op(name="")
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            make_op(flops=-1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make_op(bytes_moved=-1.0)
+
+    def test_zero_shape_dim_rejected(self):
+        with pytest.raises(ValueError):
+            make_op(output_shape=(0, 8, 8))
+
+    def test_zero_cost_marker_allowed(self):
+        op = make_op(flops=0.0, bytes_moved=0.0)
+        assert op.flops == 0.0
+
+
+class TestClassification:
+    def test_conv_is_compute_bound(self):
+        assert not make_op(op_type=OpType.CONV2D).is_memory_bound
+
+    def test_linear_is_memory_bound(self):
+        assert make_op(op_type=OpType.LINEAR).is_memory_bound
+
+    @pytest.mark.parametrize(
+        "op_type",
+        [OpType.RELU, OpType.BATCHNORM, OpType.ADD, OpType.MAXPOOL,
+         OpType.AVGPOOL, OpType.SOFTMAX, OpType.FLATTEN],
+    )
+    def test_elementwise_and_reduction_types_memory_bound(self, op_type):
+        assert op_type in MEMORY_BOUND_TYPES
+
+
+class TestAttributes:
+    def test_attribute_lookup(self):
+        op = make_op(attributes=(("kernel", 3), ("stride", 2)))
+        assert op.attribute("kernel") == 3
+        assert op.attribute("stride") == 2
+
+    def test_attribute_default(self):
+        assert make_op().attribute("padding", 0) == 0
+
+    def test_operators_are_frozen(self):
+        op = make_op()
+        with pytest.raises(Exception):
+            op.flops = 5.0
+
+
+class TestOutputElements:
+    def test_3d_shape(self):
+        assert output_elements(make_op(output_shape=(16, 4, 4))) == 256
+
+    def test_1d_shape(self):
+        op = make_op(input_shape=(100,), output_shape=(10,), op_type=OpType.LINEAR)
+        assert output_elements(op) == 10

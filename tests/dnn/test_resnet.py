@@ -1,0 +1,104 @@
+"""Structural tests for the ResNet builders against known ground truth."""
+
+import pytest
+
+from repro.dnn.ops import OpType
+from repro.dnn.resnet import build_resnet18, build_resnet34
+
+
+@pytest.fixture(scope="module")
+def resnet18():
+    return build_resnet18()
+
+
+class TestResNet18Structure:
+    def test_validates(self, resnet18):
+        resnet18.validate()
+
+    def test_conv_count(self, resnet18):
+        # 1 stem + 16 block convs + 3 downsample convs = 20
+        convs = [o for o in resnet18 if o.op_type is OpType.CONV2D]
+        assert len(convs) == 20
+
+    def test_downsample_convs_present(self, resnet18):
+        names = [o.name for o in resnet18]
+        for layer in (2, 3, 4):
+            assert f"layer{layer}.0.downsample.conv" in names
+        assert "layer1.0.downsample.conv" not in names
+
+    def test_add_count(self, resnet18):
+        # one residual addition per basic block, 8 blocks
+        adds = [o for o in resnet18 if o.op_type is OpType.ADD]
+        assert len(adds) == 8
+
+    def test_single_linear_head(self, resnet18):
+        linears = [o for o in resnet18 if o.op_type is OpType.LINEAR]
+        assert len(linears) == 1
+        assert linears[0].output_shape == (1000,)
+
+    def test_param_count_matches_torchvision(self, resnet18):
+        # torchvision resnet18: 11,689,512 parameters
+        assert resnet18.total_params() == pytest.approx(11_689_512, rel=0.01)
+
+    def test_flops_match_published_value(self, resnet18):
+        # ~1.82 GMACs => ~3.6 GFLOPs at 2 FLOPs per MAC
+        assert resnet18.total_flops() == pytest.approx(3.64e9, rel=0.03)
+
+    def test_stem_shapes(self, resnet18):
+        assert resnet18.node("conv1").output_shape == (64, 112, 112)
+        assert resnet18.node("maxpool").output_shape == (64, 56, 56)
+
+    def test_layer_output_shapes(self, resnet18):
+        assert resnet18.node("layer1.1.relu2").output_shape == (64, 56, 56)
+        assert resnet18.node("layer2.1.relu2").output_shape == (128, 28, 28)
+        assert resnet18.node("layer3.1.relu2").output_shape == (256, 14, 14)
+        assert resnet18.node("layer4.1.relu2").output_shape == (512, 7, 7)
+
+    def test_insertion_order_topological(self, resnet18):
+        assert resnet18.insertion_order_is_topological()
+
+    def test_single_source_and_sink(self, resnet18):
+        assert resnet18.sources() == ["input"]
+        assert resnet18.sinks() == ["fc"]
+
+    def test_residual_edges_exist(self, resnet18):
+        # plain block: skip from the previous block's relu
+        assert "layer1.1.add" in resnet18.successors("layer1.0.relu2")
+        # downsample block: skip goes through the projection
+        assert "layer2.0.add" in resnet18.successors("layer2.0.downsample.bn")
+
+    def test_shape_continuity(self, resnet18):
+        """Every edge connects an output shape to a matching consumer input."""
+        for src, dst in resnet18.edges():
+            dst_op = resnet18.node(dst)
+            src_op = resnet18.node(src)
+            if dst_op.op_type is OpType.ADD:
+                assert src_op.output_shape == dst_op.output_shape
+            elif len(resnet18.predecessors(dst)) == 1:
+                assert src_op.output_shape == dst_op.input_shape
+
+
+class TestInputSizes:
+    def test_smaller_input(self):
+        graph = build_resnet18(input_hw=64)
+        assert graph.node("conv1").output_shape == (64, 32, 32)
+        graph.validate()
+
+    def test_custom_classes(self):
+        graph = build_resnet18(num_classes=10)
+        assert graph.node("fc").output_shape == (10,)
+
+
+class TestResNet34:
+    def test_conv_count(self):
+        graph = build_resnet34()
+        # 1 stem + 2*(3+4+6+3) block convs + 3 downsample = 36
+        convs = [o for o in graph if o.op_type is OpType.CONV2D]
+        assert len(convs) == 36
+
+    def test_param_count(self):
+        # torchvision resnet34: 21,797,672 parameters
+        assert build_resnet34().total_params() == pytest.approx(21_797_672, rel=0.01)
+
+    def test_more_flops_than_resnet18(self):
+        assert build_resnet34().total_flops() > build_resnet18().total_flops() * 1.8

@@ -1,0 +1,70 @@
+"""Unit tests for shape arithmetic."""
+
+import pytest
+
+from repro.dnn.shapes import (
+    conv2d_output_hw,
+    conv2d_output_shape,
+    element_count,
+    flatten_shape,
+    global_pool_output_shape,
+    pool_output_shape,
+)
+
+
+class TestConvShapes:
+    def test_same_padding_3x3(self):
+        assert conv2d_output_hw(56, 56, kernel=3, stride=1, padding=1) == (56, 56)
+
+    def test_stride_two_halves(self):
+        assert conv2d_output_hw(56, 56, kernel=3, stride=2, padding=1) == (28, 28)
+
+    def test_resnet_stem(self):
+        # 224x224, 7x7 conv, stride 2, padding 3 -> 112x112
+        assert conv2d_output_hw(224, 224, kernel=7, stride=2, padding=3) == (112, 112)
+
+    def test_1x1_conv_preserves_size(self):
+        assert conv2d_output_hw(28, 28, kernel=1) == (28, 28)
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_output_hw(4, 4, kernel=7)
+
+    def test_zero_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_output_hw(8, 8, kernel=0)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_output_hw(8, 8, kernel=3, padding=-1)
+
+    def test_output_shape_channels(self):
+        shape = conv2d_output_shape((3, 224, 224), 64, kernel=7, stride=2, padding=3)
+        assert shape == (64, 112, 112)
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_output_shape((3, 8, 8), 0, kernel=3)
+
+
+class TestPoolShapes:
+    def test_resnet_maxpool(self):
+        # 112x112, 3x3, stride 2, padding 1 -> 56x56
+        assert pool_output_shape((64, 112, 112), 3, 2, 1) == (64, 56, 56)
+
+    def test_2x2_halving(self):
+        assert pool_output_shape((16, 32, 32), 2, 2) == (16, 16, 16)
+
+    def test_global_pool(self):
+        assert global_pool_output_shape((512, 7, 7)) == (512, 1, 1)
+
+
+class TestFlatten:
+    def test_flatten_3d(self):
+        assert flatten_shape((512, 1, 1)) == (512,)
+
+    def test_flatten_is_product(self):
+        assert flatten_shape((2, 3, 4)) == (24,)
+
+    def test_element_count(self):
+        assert element_count((64, 56, 56)) == 64 * 56 * 56

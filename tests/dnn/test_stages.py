@@ -1,0 +1,140 @@
+"""Tests for balanced stage partitioning."""
+
+import pytest
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Operator, OpType
+from repro.dnn.resnet import build_resnet18
+from repro.dnn.stages import (
+    StagePlan,
+    _linear_partition,
+    default_operator_cost,
+    partition_into_stages,
+)
+
+
+def weighted_chain(costs):
+    graph = LayerGraph("chain")
+    previous = None
+    for index, cost in enumerate(costs):
+        name = f"n{index}"
+        graph.add_node(
+            Operator(
+                name=name,
+                op_type=OpType.RELU,
+                input_shape=(4,),
+                output_shape=(4,),
+                flops=float(cost),
+                bytes_moved=0.0,
+            )
+        )
+        if previous:
+            graph.add_edge(previous, name)
+        previous = name
+    return graph
+
+
+class TestLinearPartition:
+    def test_equal_costs_split_evenly(self):
+        boundaries = _linear_partition([1.0] * 6, 3)
+        assert boundaries == [2, 4, 6]
+
+    def test_single_part(self):
+        assert _linear_partition([1.0, 2.0, 3.0], 1) == [3]
+
+    def test_parts_equal_items(self):
+        assert _linear_partition([5.0, 1.0, 2.0], 3) == [1, 2, 3]
+
+    def test_minimises_max(self):
+        # [9, 1, 1, 1] into 2: best split is [9] | [1,1,1]
+        assert _linear_partition([9.0, 1.0, 1.0, 1.0], 2) == [1, 4]
+
+    def test_heavy_tail(self):
+        # [1, 1, 1, 9] into 2: best split is [1,1,1] | [9]
+        assert _linear_partition([1.0, 1.0, 1.0, 9.0], 2) == [3, 4]
+
+
+class TestPartitionIntoStages:
+    def test_covers_all_operators_once(self):
+        plan = partition_into_stages(weighted_chain([1] * 10), 3)
+        names = [op.name for stage in plan.stages for op in stage]
+        assert names == [f"n{i}" for i in range(10)]
+
+    def test_stage_count(self):
+        plan = partition_into_stages(weighted_chain([1] * 10), 4)
+        assert plan.num_stages == 4
+
+    def test_single_stage(self):
+        plan = partition_into_stages(weighted_chain([1] * 5), 1)
+        assert plan.num_stages == 1
+        assert len(plan.stages[0]) == 5
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(ValueError):
+            partition_into_stages(weighted_chain([1] * 3), 4)
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ValueError):
+            partition_into_stages(weighted_chain([1] * 3), 0)
+
+    def test_custom_cost_function(self):
+        graph = weighted_chain([1, 1, 1, 1])
+        plan = partition_into_stages(graph, 2, cost_fn=lambda op: 1.0)
+        assert [len(s) for s in plan.stages] == [2, 2]
+
+    def test_costs_recorded(self):
+        plan = partition_into_stages(
+            weighted_chain([1, 2, 3, 4]), 2, cost_fn=lambda op: op.flops
+        )
+        assert sum(plan.costs) == pytest.approx(10.0)
+
+
+class TestResnetPartition:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return partition_into_stages(build_resnet18(), 6)
+
+    def test_validates(self, plan):
+        plan.validate()
+
+    def test_six_stages(self, plan):
+        assert plan.num_stages == 6
+
+    def test_reasonably_balanced(self, plan):
+        # max stage cost within 2.2x of the mean (layer boundaries are
+        # coarse; perfect balance is impossible)
+        assert plan.imbalance() < 2.2
+
+    def test_no_empty_stage(self, plan):
+        assert all(stage for stage in plan.stages)
+
+    def test_stage_order_matches_network_order(self, plan):
+        assert plan.stages[0][0].name == "input"
+        assert plan.stages[-1][-1].name == "fc"
+
+    def test_deterministic(self):
+        plan_a = partition_into_stages(build_resnet18(), 6)
+        plan_b = partition_into_stages(build_resnet18(), 6)
+        assert [
+            [op.name for op in stage] for stage in plan_a.stages
+        ] == [[op.name for op in stage] for stage in plan_b.stages]
+
+
+class TestStagePlanValidation:
+    def test_missing_operator_detected(self):
+        graph = weighted_chain([1, 1, 1])
+        plan = partition_into_stages(graph, 2)
+        plan.stages[0] = plan.stages[0][:-1] if len(plan.stages[0]) > 1 else []
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_default_cost_positive_for_memory_ops(self):
+        op = Operator(
+            name="bn",
+            op_type=OpType.BATCHNORM,
+            input_shape=(4,),
+            output_shape=(4,),
+            flops=0.0,
+            bytes_moved=100.0,
+        )
+        assert default_operator_cost(op) > 0

@@ -1,0 +1,187 @@
+"""Unit tests for the SM allocation model."""
+
+import pytest
+
+from repro.gpu.allocator import (
+    AllocationParams,
+    compute_allocation,
+    intra_context_shares,
+)
+from repro.gpu.context import SimContext
+from repro.gpu.kernel import PriorityLevel, StageKernel
+from repro.speedup.model import SaturatingCurve
+
+
+def make_kernel(label="k", priority=PriorityLevel.LOW, width=64.0):
+    return StageKernel(
+        label=label,
+        curve=SaturatingCurve(0.05),
+        work=1.0,
+        width_demand=width,
+        deadline=1.0,
+        priority=priority,
+    )
+
+
+def resident_context(context_id, sms, kernels):
+    context = SimContext(context_id, sms)
+    for kernel in kernels:
+        context.enqueue(kernel)
+    context.dispatch_ready()
+    return context
+
+
+class TestIntraContextShares:
+    def test_single_kernel_gets_everything_up_to_width(self):
+        kernel = make_kernel(width=64.0)
+        shares = intra_context_shares([kernel], 34.0)
+        assert shares[kernel.kernel_id] == pytest.approx(34.0)
+
+    def test_lone_kernel_work_conserving_beyond_width(self):
+        # width demand caps the *competitive* share, but a lone kernel
+        # still absorbs the whole partition (its curve saturates anyway)
+        kernel = make_kernel(width=10.0)
+        shares = intra_context_shares([kernel], 34.0)
+        assert shares[kernel.kernel_id] == pytest.approx(34.0)
+
+    def test_width_demand_caps_competitive_share(self):
+        narrow = make_kernel("n", width=4.0)
+        rivals = [make_kernel(f"r{i}", width=64.0) for i in range(3)]
+        shares = intra_context_shares([narrow] + rivals, 32.0)
+        # narrow's demand-capped share is 4; the leftover goes to rivals
+        # (equal weights would have given everyone 8)
+        assert shares[narrow.kernel_id] < shares[rivals[0].kernel_id]
+
+    def test_equal_weights_split_equally(self):
+        kernels = [make_kernel(f"k{i}") for i in range(4)]
+        shares = intra_context_shares(kernels, 32.0)
+        for kernel in kernels:
+            assert shares[kernel.kernel_id] == pytest.approx(8.0)
+
+    def test_priority_weighting(self):
+        high = make_kernel("h", priority=PriorityLevel.HIGH)
+        low = make_kernel("l", priority=PriorityLevel.LOW)
+        shares = intra_context_shares([high, low], 30.0)
+        assert shares[high.kernel_id] == pytest.approx(20.0)
+        assert shares[low.kernel_id] == pytest.approx(10.0)
+
+    def test_capped_surplus_flows_to_others(self):
+        narrow = make_kernel("n", width=2.0)
+        wide = make_kernel("w", width=64.0)
+        shares = intra_context_shares([narrow, wide], 34.0)
+        assert shares[narrow.kernel_id] == pytest.approx(2.0)
+        assert shares[wide.kernel_id] == pytest.approx(32.0)
+
+    def test_leftover_spread_when_all_satisfied(self):
+        kernels = [make_kernel(f"k{i}", width=5.0) for i in range(2)]
+        shares = intra_context_shares(kernels, 34.0)
+        # demands (5 + 5) < budget: the remaining 24 SMs are still handed
+        # out, split equally between equal weights
+        for kernel in kernels:
+            assert shares[kernel.kernel_id] == pytest.approx(17.0)
+
+    def test_never_exceeds_budget(self):
+        kernels = [make_kernel(f"k{i}", width=5.0) for i in range(3)]
+        shares = intra_context_shares(kernels, 34.0)
+        assert sum(shares.values()) == pytest.approx(34.0)
+
+    def test_empty_is_empty(self):
+        assert intra_context_shares([], 34.0) == {}
+
+
+class TestComputeAllocation:
+    def test_no_kernels(self):
+        context = SimContext(0, 34.0)
+        result = compute_allocation([context], 68.0, 53.5)
+        assert result.pressure == 0.0
+        assert result.rates == {}
+
+    def test_single_kernel_rate_matches_curve(self):
+        kernel = make_kernel()
+        context = resident_context(0, 34.0, [kernel])
+        result = compute_allocation([context], 68.0, 1e9,
+                                    AllocationParams(alpha=0.0, beta=0.0))
+        assert result.rates[kernel.kernel_id] == pytest.approx(
+            SaturatingCurve(0.05).speedup(34.0)
+        )
+        assert kernel.rate == result.rates[kernel.kernel_id]
+
+    def test_undersubscribed_no_scaling(self):
+        kernel = make_kernel()
+        context = resident_context(0, 34.0, [kernel])
+        result = compute_allocation([context], 68.0, 1e9)
+        assert result.device_scale == 1.0
+        assert result.pressure == pytest.approx(0.5)
+
+    def test_oversubscribed_scales_down(self):
+        contexts = [
+            resident_context(i, 68.0, [make_kernel(f"k{i}", width=68.0)])
+            for i in range(2)
+        ]
+        result = compute_allocation(contexts, 68.0, 1e9)
+        assert result.pressure == pytest.approx(2.0)
+        assert result.device_scale == pytest.approx(0.5)
+        for share in result.shares.values():
+            assert share == pytest.approx(34.0)
+
+    def test_contention_penalty_reduces_rates(self):
+        def run(alpha):
+            contexts = [
+                resident_context(i, 68.0, [make_kernel(f"k{i}")])
+                for i in range(2)
+            ]
+            return compute_allocation(
+                contexts, 68.0, 1e9, AllocationParams(alpha=alpha, beta=0.0)
+            ).aggregate_rate
+        assert run(0.1) < run(0.0)
+
+    def test_colocation_penalty(self):
+        def run(beta, count):
+            kernels = [make_kernel(f"k{i}") for i in range(count)]
+            context = resident_context(0, 32.0, kernels)
+            return compute_allocation(
+                [context], 68.0, 1e9, AllocationParams(alpha=0.0, beta=beta)
+            ).aggregate_rate
+        # with four co-located kernels a positive beta cuts the rate
+        assert run(0.1, 4) < run(0.0, 4)
+        # a lone kernel pays nothing
+        assert run(0.1, 1) == pytest.approx(run(0.0, 1))
+
+    def test_aggregate_ceiling_binds(self):
+        kernels = [make_kernel(f"k{i}") for i in range(4)]
+        context = resident_context(0, 68.0, kernels)
+        result = compute_allocation(
+            [context], 68.0, 5.0, AllocationParams(alpha=0.0, beta=0.0)
+        )
+        assert result.aggregate_rate == pytest.approx(5.0)
+
+    def test_ceiling_scales_uniformly(self):
+        kernels = [make_kernel(f"k{i}") for i in range(2)]
+        context = resident_context(0, 68.0, kernels)
+        unbounded = compute_allocation(
+            [context], 68.0, 1e9, AllocationParams(alpha=0.0, beta=0.0)
+        )
+        bounded_cap = unbounded.aggregate_rate / 2
+        # fresh context because allocation mutates kernel state
+        kernels2 = [make_kernel(f"j{i}") for i in range(2)]
+        context2 = resident_context(1, 68.0, kernels2)
+        bounded = compute_allocation(
+            [context2], 68.0, bounded_cap, AllocationParams(alpha=0.0, beta=0.0)
+        )
+        rates = list(bounded.rates.values())
+        assert rates[0] == pytest.approx(rates[1])
+        assert sum(rates) == pytest.approx(bounded_cap)
+
+    def test_hard_context_caps_not_work_conserving(self):
+        """A context cannot exceed its nominal SMs even when the device has
+        idle capacity — the core MPS semantics over-subscription exploits."""
+        kernel = make_kernel(width=68.0)
+        context = resident_context(0, 34.0, [kernel])
+        result = compute_allocation([context], 68.0, 1e9)
+        assert result.shares[kernel.kernel_id] == pytest.approx(34.0)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            AllocationParams(alpha=-1.0)
+        with pytest.raises(ValueError):
+            AllocationParams(width_fraction=0.0)

@@ -1,0 +1,220 @@
+"""Unit tests for the GPU device's rate-based execution."""
+
+import pytest
+
+from repro.gpu.allocator import AllocationParams
+from repro.gpu.context import SimContext
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import PriorityLevel, StageKernel
+from repro.gpu.spec import GpuDeviceSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import TraceRecorder
+from repro.speedup.model import SaturatingCurve
+
+IDEAL = AllocationParams(alpha=0.0, beta=0.0)
+
+
+def make_kernel(label="k", work=1.0, setup=0.0, deadline=1e9,
+                priority=PriorityLevel.LOW, width=68.0, sigma=0.0):
+    return StageKernel(
+        label=label,
+        curve=SaturatingCurve(sigma),
+        work=work,
+        width_demand=width,
+        deadline=deadline,
+        priority=priority,
+        setup_time=setup,
+    )
+
+
+def make_device(num_contexts=1, sms=68.0, cap=1e9, params=IDEAL, trace=None):
+    engine = SimulationEngine()
+    spec = GpuDeviceSpec(total_sms=68, aggregate_speedup_cap=cap)
+    contexts = [SimContext(i, sms) for i in range(num_contexts)]
+    device = GpuDevice(engine, spec, contexts, params, trace=trace)
+    done = []
+    device.on_kernel_complete = lambda kernel: done.append(
+        (engine.now, kernel.label)
+    )
+    return engine, device, contexts, done
+
+
+class TestSingleKernel:
+    def test_completion_time_matches_curve(self):
+        engine, device, contexts, done = make_device()
+        # sigma=0: speedup(68) = 68, so 1.0 work finishes in 1/68 s
+        device.submit(make_kernel(work=1.0), contexts[0])
+        engine.run()
+        assert done == [(pytest.approx(1.0 / 68.0), "k")]
+
+    def test_setup_time_adds_wall_time(self):
+        engine, device, contexts, done = make_device()
+        device.submit(make_kernel(work=1.0, setup=0.5), contexts[0])
+        engine.run()
+        assert done[0][0] == pytest.approx(0.5 + 1.0 / 68.0)
+
+    def test_width_limited_curve_bounds_rate(self):
+        from repro.speedup.model import WidthLimitedCurve
+        engine, device, contexts, done = make_device()
+        kernel = StageKernel(
+            label="narrow",
+            curve=WidthLimitedCurve(SaturatingCurve(0.0), width=10.0),
+            work=1.0,
+            width_demand=10.0,
+            deadline=1e9,
+        )
+        device.submit(kernel, contexts[0])
+        engine.run()
+        # the lone kernel receives the whole context but its grid-limited
+        # curve caps useful width at 10 SMs
+        assert done[0][0] == pytest.approx(1.0 / 10.0)
+
+
+class TestConcurrency:
+    def test_two_kernels_share_context(self):
+        engine, device, contexts, done = make_device(sms=68.0)
+        device.submit(make_kernel("a", work=1.0), contexts[0])
+        device.submit(make_kernel("b", work=1.0), contexts[0])
+        engine.run()
+        # equal shares of 34 SMs at sigma=0: both finish at 1/34 s
+        assert done[0][0] == pytest.approx(1.0 / 34.0)
+        assert done[1][0] == pytest.approx(1.0 / 34.0)
+
+    def test_rates_rescale_when_kernel_finishes(self):
+        engine, device, contexts, done = make_device(sms=68.0)
+        device.submit(make_kernel("short", work=0.5), contexts[0])
+        device.submit(make_kernel("long", work=1.0), contexts[0])
+        engine.run()
+        # short finishes at 0.5/34; long then accelerates to 68 SMs:
+        # remaining (1.0 - 0.5) work at rate 68
+        t_short = 0.5 / 34.0
+        t_long = t_short + 0.5 / 68.0
+        assert dict(((l, pytest.approx(t)) for t, l in done))  # sanity
+        assert done[0] == (pytest.approx(t_short), "short")
+        assert done[1] == (pytest.approx(t_long), "long")
+
+    def test_queued_kernel_starts_after_stream_frees(self):
+        engine, device, contexts, done = make_device()
+        # 5 kernels, 4 streams: the fifth must wait
+        for index in range(5):
+            device.submit(make_kernel(f"k{index}", work=0.4), contexts[0])
+        engine.run()
+        assert len(done) == 5
+        assert done[-1][1] == "k4"
+        assert done[-1][0] > done[0][0]
+
+    def test_priority_weighted_shares(self):
+        engine, device, contexts, done = make_device(sms=30.0)
+        device.submit(
+            make_kernel("high", work=1.0, priority=PriorityLevel.HIGH),
+            contexts[0],
+        )
+        device.submit(
+            make_kernel("low", work=1.0, priority=PriorityLevel.LOW),
+            contexts[0],
+        )
+        engine.run()
+        labels = [label for _, label in done]
+        assert labels[0] == "high"  # 20 SMs vs 10 SMs
+
+
+class TestAbort:
+    def test_aborted_kernel_never_completes(self):
+        engine, device, contexts, done = make_device()
+        kernel = make_kernel(work=1.0)
+        device.submit(kernel, contexts[0])
+        device.abort(kernel)
+        engine.run()
+        assert done == []
+
+    def test_abort_releases_stream(self):
+        engine, device, contexts, done = make_device()
+        kernel = make_kernel("a", work=1.0)
+        device.submit(kernel, contexts[0])
+        device.abort(kernel)
+        device.submit(make_kernel("b", work=1.0), contexts[0])
+        engine.run()
+        assert [label for _, label in done] == ["b"]
+
+    def test_abort_queued_kernel(self):
+        engine, device, contexts, done = make_device()
+        resident = [make_kernel(f"r{i}", work=1.0) for i in range(4)]
+        for kernel in resident:
+            device.submit(kernel, contexts[0])
+        queued = make_kernel("queued", work=1.0)
+        device.submit(queued, contexts[0])
+        device.abort(queued)
+        engine.run()
+        assert len(done) == 4
+
+
+class TestCallbacks:
+    def test_callback_can_submit_followup(self):
+        engine, device, contexts, done = make_device()
+        def chain(kernel):
+            done.append((engine.now, kernel.label))
+            if kernel.label == "first":
+                device.submit(make_kernel("second", work=1.0), contexts[0])
+        device.on_kernel_complete = chain
+        device.submit(make_kernel("first", work=1.0), contexts[0])
+        engine.run()
+        assert [label for _, label in done] == ["first", "second"]
+        assert done[1][0] == pytest.approx(2.0 / 68.0)
+
+
+class TestStatistics:
+    def test_work_conservation(self):
+        engine, device, contexts, done = make_device()
+        total = 0.0
+        for index in range(3):
+            work = 0.3 * (index + 1)
+            total += work
+            device.submit(make_kernel(f"k{index}", work=work), contexts[0])
+        engine.run()
+        assert device.total_work_done == pytest.approx(total, rel=1e-6)
+
+    def test_utilization_bounds(self):
+        engine, device, contexts, done = make_device()
+        device.submit(make_kernel(work=1.0), contexts[0])
+        engine.run()
+        assert 0.0 < device.utilization() <= 1.0
+
+    def test_trace_records_lifecycle(self):
+        trace = TraceRecorder()
+        engine, device, contexts, done = make_device(trace=trace)
+        device.submit(make_kernel(work=1.0), contexts[0])
+        engine.run()
+        kinds = trace.kinds()
+        assert kinds.get("kernel_start") == 1
+        assert kinds.get("kernel_done") == 1
+        assert kinds.get("allocation", 0) >= 1
+
+    def test_context_lookup(self):
+        engine, device, contexts, done = make_device(num_contexts=2)
+        assert device.context(1) is contexts[1]
+        with pytest.raises(KeyError):
+            device.context(99)
+
+    def test_needs_at_least_one_context(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            GpuDevice(engine, GpuDeviceSpec(), [])
+
+
+class TestMultiContext:
+    def test_contexts_independent_below_capacity(self):
+        engine, device, contexts, done = make_device(num_contexts=2, sms=34.0)
+        device.submit(make_kernel("a", work=1.0), contexts[0])
+        device.submit(make_kernel("b", work=1.0), contexts[1])
+        engine.run()
+        for t, _ in done:
+            assert t == pytest.approx(1.0 / 34.0)
+
+    def test_oversubscription_slows_everyone(self):
+        engine, device, contexts, done = make_device(num_contexts=2, sms=68.0)
+        device.submit(make_kernel("a", work=1.0), contexts[0])
+        device.submit(make_kernel("b", work=1.0), contexts[1])
+        engine.run()
+        # both contexts demand 68 -> scaled to 34 each
+        for t, _ in done:
+            assert t == pytest.approx(1.0 / 34.0)

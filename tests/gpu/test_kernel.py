@@ -1,0 +1,124 @@
+"""Unit tests for stage kernels."""
+
+import pytest
+
+from repro.gpu.kernel import PRIORITY_WEIGHTS, PriorityLevel, StageKernel
+from repro.speedup.model import SaturatingCurve
+
+
+def make_kernel(work=1.0, setup=0.0, priority=PriorityLevel.LOW):
+    return StageKernel(
+        label="k",
+        curve=SaturatingCurve(0.05),
+        work=work,
+        width_demand=16.0,
+        deadline=1.0,
+        priority=priority,
+        setup_time=setup,
+    )
+
+
+class TestConstruction:
+    def test_defaults(self):
+        kernel = make_kernel()
+        assert kernel.work_remaining == 1.0
+        assert not kernel.is_complete
+        assert kernel.rate == 0.0
+
+    def test_zero_work_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel(work=0.0)
+
+    def test_width_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            StageKernel("k", SaturatingCurve(0.0), 1.0, 0.5, 1.0)
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel(setup=-1.0)
+
+    def test_unique_ids(self):
+        assert make_kernel().kernel_id != make_kernel().kernel_id
+
+
+class TestPriorities:
+    def test_priority_ordering(self):
+        assert PriorityLevel.HIGH > PriorityLevel.MEDIUM > PriorityLevel.LOW
+
+    def test_weights_ordered(self):
+        assert (
+            PRIORITY_WEIGHTS[PriorityLevel.HIGH]
+            > PRIORITY_WEIGHTS[PriorityLevel.MEDIUM]
+            > PRIORITY_WEIGHTS[PriorityLevel.LOW]
+        )
+
+    def test_kernel_weight_follows_priority(self):
+        assert make_kernel(priority=PriorityLevel.HIGH).weight == pytest.approx(2.0)
+
+
+class TestProgress:
+    def test_advance_consumes_work_at_rate(self):
+        kernel = make_kernel(work=1.0)
+        kernel.rate = 2.0
+        kernel.advance(0.25)
+        assert kernel.work_remaining == pytest.approx(0.5)
+
+    def test_advance_to_completion(self):
+        kernel = make_kernel(work=1.0)
+        kernel.rate = 1.0
+        kernel.advance(1.0)
+        assert kernel.is_complete
+
+    def test_setup_consumed_before_work(self):
+        kernel = make_kernel(work=1.0, setup=0.5)
+        kernel.rate = 1.0
+        kernel.advance(0.5)
+        assert kernel.setup_remaining == 0.0
+        assert kernel.work_remaining == pytest.approx(1.0)
+        kernel.advance(0.5)
+        assert kernel.work_remaining == pytest.approx(0.5)
+
+    def test_setup_burns_at_unit_rate_even_when_stalled(self):
+        kernel = make_kernel(work=1.0, setup=0.5)
+        kernel.rate = 0.0
+        kernel.advance(0.5)
+        assert kernel.setup_remaining == 0.0
+        assert kernel.work_remaining == pytest.approx(1.0)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel().advance(-1.0)
+
+    def test_progress_fraction(self):
+        kernel = make_kernel(work=2.0)
+        kernel.rate = 1.0
+        kernel.advance(1.0)
+        assert kernel.progress_fraction() == pytest.approx(0.5)
+
+
+class TestTimeToCompletion:
+    def test_simple(self):
+        kernel = make_kernel(work=1.0)
+        kernel.rate = 2.0
+        assert kernel.time_to_completion() == pytest.approx(0.5)
+
+    def test_includes_setup(self):
+        kernel = make_kernel(work=1.0, setup=0.25)
+        kernel.rate = 1.0
+        assert kernel.time_to_completion() == pytest.approx(1.25)
+
+    def test_stalled_kernel_is_infinite(self):
+        kernel = make_kernel(work=1.0)
+        kernel.rate = 0.0
+        assert kernel.time_to_completion() == float("inf")
+
+    def test_complete_kernel_is_zero(self):
+        kernel = make_kernel(work=1.0)
+        kernel.rate = 1.0
+        kernel.advance(1.0)
+        assert kernel.time_to_completion() == 0.0
+
+    def test_force_complete(self):
+        kernel = make_kernel(work=1.0, setup=0.5)
+        kernel.force_complete()
+        assert kernel.is_complete

@@ -1,0 +1,83 @@
+"""Unit tests for reconfiguration policies."""
+
+import pytest
+
+from repro.gpu.context import SimContext
+from repro.gpu.mps import SpatialReconfig, ZeroConfigPool
+
+
+class TestZeroConfigPool:
+    def test_always_free(self):
+        policy = ZeroConfigPool()
+        context = SimContext(0, 34.0)
+        assert policy.setup_time(context, "a") == 0.0
+        assert policy.setup_time(context, "b") == 0.0
+
+    def test_records_configured_task(self):
+        policy = ZeroConfigPool()
+        context = SimContext(0, 34.0)
+        policy.setup_time(context, "a")
+        assert context.configured_task == "a"
+
+
+class TestSpatialReconfig:
+    def test_first_use_pays(self):
+        policy = SpatialReconfig(base_cost=1e-4, per_task_cost=1e-5)
+        context = SimContext(0, 34.0)
+        assert policy.setup_time(context, "a") > 0.0
+
+    def test_same_task_free(self):
+        policy = SpatialReconfig()
+        context = SimContext(0, 34.0)
+        policy.setup_time(context, "a")
+        assert policy.setup_time(context, "a") == 0.0
+
+    def test_switch_pays_again(self):
+        policy = SpatialReconfig(base_cost=1e-4, per_task_cost=0.0)
+        context = SimContext(0, 34.0)
+        policy.setup_time(context, "a")
+        assert policy.setup_time(context, "b") == pytest.approx(1e-4)
+
+    def test_cost_grows_with_distinct_tasks(self):
+        policy = SpatialReconfig(base_cost=1e-4, per_task_cost=1e-5)
+        context = SimContext(0, 34.0)
+        for name in ("a", "b", "c"):
+            policy.register_task(context, name)
+        cost_three = policy.setup_time(context, "a")
+        policy.register_task(context, "d")
+        policy.register_task(context, "e")
+        # switch away and back so the switch is paid again
+        policy.setup_time(context, "b")
+        cost_five = policy.setup_time(context, "a")
+        assert cost_five > cost_three
+
+    def test_distinct_tasks_counted_per_context(self):
+        policy = SpatialReconfig()
+        first = SimContext(0, 34.0)
+        second = SimContext(1, 34.0)
+        policy.register_task(first, "a")
+        policy.register_task(second, "b")
+        assert policy.distinct_tasks(first) == 1
+        assert policy.distinct_tasks(second) == 1
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialReconfig(base_cost=-1.0)
+        with pytest.raises(ValueError):
+            SpatialReconfig(per_task_cost=-1.0)
+
+
+class TestSpec:
+    def test_rtx_2080_ti_constants(self):
+        from repro.gpu.spec import RTX_2080_TI
+        assert RTX_2080_TI.total_sms == 68
+        assert RTX_2080_TI.streams_per_context == 4
+
+    def test_spec_validation(self):
+        from repro.gpu.spec import GpuDeviceSpec
+        with pytest.raises(ValueError):
+            GpuDeviceSpec(total_sms=0)
+        with pytest.raises(ValueError):
+            GpuDeviceSpec(high_priority_streams=0, low_priority_streams=0)
+        with pytest.raises(ValueError):
+            GpuDeviceSpec(aggregate_speedup_cap=0.0)

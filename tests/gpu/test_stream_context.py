@@ -1,0 +1,189 @@
+"""Unit tests for streams and contexts."""
+
+import pytest
+
+from repro.gpu.context import SimContext
+from repro.gpu.kernel import PriorityLevel, StageKernel
+from repro.gpu.stream import CudaStream, StreamClass
+from repro.speedup.model import SaturatingCurve
+
+
+def make_kernel(label="k", deadline=1.0, priority=PriorityLevel.LOW, work=1.0):
+    return StageKernel(
+        label=label,
+        curve=SaturatingCurve(0.05),
+        work=work,
+        width_demand=16.0,
+        deadline=deadline,
+        priority=priority,
+    )
+
+
+class TestStream:
+    def test_attach_detach(self):
+        stream = CudaStream(0, StreamClass.HIGH)
+        kernel = make_kernel()
+        stream.attach(kernel)
+        assert stream.busy
+        assert kernel.stream_id == 0
+        detached = stream.detach()
+        assert detached is kernel
+        assert not stream.busy
+        assert kernel.stream_id is None
+
+    def test_attach_busy_stream_raises(self):
+        stream = CudaStream(0, StreamClass.LOW)
+        stream.attach(make_kernel("a"))
+        with pytest.raises(RuntimeError):
+            stream.attach(make_kernel("b"))
+
+    def test_detach_idle_stream_raises(self):
+        with pytest.raises(RuntimeError):
+            CudaStream(0, StreamClass.LOW).detach()
+
+
+class TestContextConstruction:
+    def test_default_stream_layout(self):
+        context = SimContext(0, nominal_sms=34.0)
+        classes = [s.stream_class for s in context.streams]
+        assert classes.count(StreamClass.HIGH) == 2
+        assert classes.count(StreamClass.LOW) == 2
+
+    def test_invalid_sms_rejected(self):
+        with pytest.raises(ValueError):
+            SimContext(0, nominal_sms=0.0)
+
+    def test_starts_idle(self):
+        context = SimContext(0, 34.0)
+        assert context.is_idle()
+        assert context.queue_empty()
+
+
+class TestDispatch:
+    def test_dispatch_fills_free_streams(self):
+        context = SimContext(0, 34.0)
+        kernels = [make_kernel(f"k{i}") for i in range(3)]
+        for kernel in kernels:
+            context.enqueue(kernel)
+        dispatched = context.dispatch_ready()
+        assert len(dispatched) == 3
+        assert len(context.resident_kernels()) == 3
+
+    def test_at_most_four_resident(self):
+        context = SimContext(0, 34.0)
+        for index in range(6):
+            context.enqueue(make_kernel(f"k{index}"))
+        context.dispatch_ready()
+        assert len(context.resident_kernels()) == 4
+        assert context.queued_count() == 2
+
+    def test_high_priority_prefers_high_stream(self):
+        context = SimContext(0, 34.0)
+        kernel = make_kernel(priority=PriorityLevel.HIGH)
+        context.enqueue(kernel)
+        context.dispatch_ready()
+        stream = context.streams[kernel.stream_id]
+        assert stream.stream_class is StreamClass.HIGH
+
+    def test_low_priority_prefers_low_stream(self):
+        context = SimContext(0, 34.0)
+        kernel = make_kernel(priority=PriorityLevel.LOW)
+        context.enqueue(kernel)
+        context.dispatch_ready()
+        assert context.streams[kernel.stream_id].stream_class is StreamClass.LOW
+
+    def test_edf_order_within_level(self):
+        context = SimContext(0, 34.0, high_streams=0, low_streams=1)
+        late = make_kernel("late", deadline=2.0)
+        early = make_kernel("early", deadline=1.0)
+        context.enqueue(late)
+        context.enqueue(early)
+        dispatched = context.dispatch_ready()
+        assert dispatched[0] is early
+
+    def test_priority_order_across_levels(self):
+        context = SimContext(0, 34.0, high_streams=1, low_streams=0)
+        low = make_kernel("low", deadline=0.5, priority=PriorityLevel.LOW)
+        high = make_kernel("high", deadline=2.0, priority=PriorityLevel.HIGH)
+        context.enqueue(low)
+        context.enqueue(high)
+        dispatched = context.dispatch_ready()
+        # HIGH dispatches first despite its later deadline.
+        assert dispatched[0] is high
+
+    def test_borrowing_lets_low_use_high_stream(self):
+        context = SimContext(0, 34.0, high_streams=2, low_streams=0,
+                             allow_stream_borrowing=True)
+        kernel = make_kernel(priority=PriorityLevel.LOW)
+        context.enqueue(kernel)
+        assert context.dispatch_ready() == [kernel]
+
+    def test_strict_mode_blocks_borrowing(self):
+        context = SimContext(0, 34.0, high_streams=2, low_streams=0,
+                             allow_stream_borrowing=False)
+        kernel = make_kernel(priority=PriorityLevel.LOW)
+        context.enqueue(kernel)
+        assert context.dispatch_ready() == []
+        assert context.queued_count() == 1
+
+    def test_medium_targets_low_streams(self):
+        context = SimContext(0, 34.0, high_streams=1, low_streams=1,
+                             allow_stream_borrowing=False)
+        medium = make_kernel("m", priority=PriorityLevel.MEDIUM)
+        context.enqueue(medium)
+        context.dispatch_ready()
+        assert context.streams[medium.stream_id].stream_class is StreamClass.LOW
+
+
+class TestRemove:
+    def test_remove_resident(self):
+        context = SimContext(0, 34.0)
+        kernel = make_kernel()
+        context.enqueue(kernel)
+        context.dispatch_ready()
+        context.remove(kernel)
+        assert context.resident_kernels() == []
+
+    def test_remove_queued_tombstones(self):
+        context = SimContext(0, 34.0, high_streams=0, low_streams=1)
+        first = make_kernel("a", deadline=1.0)
+        second = make_kernel("b", deadline=2.0)
+        context.enqueue(first)
+        context.enqueue(second)
+        context.dispatch_ready()  # first becomes resident
+        context.remove(second)
+        assert context.queued_count() == 0
+        assert context.dispatch_ready() == []
+
+
+class TestEstimates:
+    def test_backlog_work_counts_resident_and_queued(self):
+        context = SimContext(0, 34.0, high_streams=0, low_streams=1)
+        context.enqueue(make_kernel("a", work=1.0))
+        context.enqueue(make_kernel("b", work=2.0))
+        context.dispatch_ready()
+        assert context.backlog_work() == pytest.approx(3.0)
+
+    def test_estimated_finish_time_grows_with_backlog(self):
+        context = SimContext(0, 34.0)
+        empty_eta = context.estimated_finish_time(now=0.0)
+        context.enqueue(make_kernel("a"))
+        context.dispatch_ready()
+        assert context.estimated_finish_time(0.0) > empty_eta
+
+    def test_estimate_completion_idle_context(self):
+        context = SimContext(0, 34.0)
+        kernel = make_kernel(work=1.0)
+        eta = context.estimate_completion(kernel, now=0.0)
+        expected = 1.0 / SaturatingCurve(0.05).speedup(34.0)
+        assert eta == pytest.approx(expected)
+
+    def test_estimate_completion_busy_context_larger(self):
+        context = SimContext(0, 34.0, high_streams=0, low_streams=1)
+        context.enqueue(make_kernel("a"))
+        context.dispatch_ready()
+        context.enqueue(make_kernel("b"))
+        busy_eta = context.estimate_completion(make_kernel("c"), now=0.0)
+        idle = SimContext(1, 34.0)
+        idle_eta = idle.estimate_completion(make_kernel("d"), now=0.0)
+        assert busy_eta > idle_eta

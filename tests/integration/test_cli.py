@@ -1,0 +1,32 @@
+"""Smoke tests for the CLI (fig1 path only; sweeps are benchmark-scale)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figures_accepted(self):
+        parser = build_parser()
+        for figure in ("fig1", "fig3", "fig4", "all"):
+            assert parser.parse_args([figure]).figure == figure
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_flags(self):
+        args = build_parser().parse_args(["fig3", "--fast", "--csv", "x.csv"])
+        assert args.fast
+        assert args.csv == "x.csv"
+
+
+class TestFig1:
+    def test_prints_table(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "conv2d" in out
+        assert "maxpool" in out
+        assert "resnet18" in out
+        # the 68-SM row must be present
+        assert "\n 68" in out or "\n68" in out.replace("  ", " ")

@@ -1,0 +1,141 @@
+"""Integration edge cases: worst-case phasing, EDF evidence, robustness."""
+
+import pytest
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.runner import RunConfig, run_simulation
+from repro.gpu.kernel import PriorityLevel
+from repro.gpu.spec import GpuDeviceSpec, RTX_2080_TI
+from repro.workloads.generator import identical_periodic_tasks
+
+
+def run(tasks, pool, **overrides):
+    config = dict(pool=pool, duration=1.5, warmup=0.3)
+    config.update(overrides)
+    return run_simulation(tasks, RunConfig(**config))
+
+
+class TestSynchronousRelease:
+    """All tasks releasing at t=0 is the worst-case phasing."""
+
+    def test_synchronous_burst_still_schedulable_light(self):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        tasks = identical_periodic_tasks(
+            8, nominal_sms=pool.sms_per_context, stagger=False
+        )
+        assert run(tasks, pool).dmr == 0.0
+
+    def test_synchronous_no_worse_pivot_than_half_load(self):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        tasks = identical_periodic_tasks(
+            16, nominal_sms=pool.sms_per_context, stagger=False
+        )
+        result = run(tasks, pool)
+        # 16 tasks is well under the staggered pivot (24); the burst may
+        # cost some latency but must not collapse the system
+        assert result.dmr < 0.05
+
+    def test_burst_latency_exceeds_staggered(self):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+        def p99(stagger):
+            tasks = identical_periodic_tasks(
+                16, nominal_sms=pool.sms_per_context, stagger=stagger
+            )
+            result = run(tasks, pool)
+            return result.metrics.response_time_percentile(0.99)
+        assert p99(False) > p99(True)
+
+
+class TestEdfEvidence:
+    def test_trace_shows_edf_dispatch_within_level(self):
+        """Among queued LOW stages on one context, dispatch must follow
+        absolute-deadline order."""
+        pool = ContextPoolConfig.from_oversubscription(1, 1.0, RTX_2080_TI)
+        # synchronous release burst on one context guarantees queueing
+        tasks = identical_periodic_tasks(
+            12, nominal_sms=pool.sms_per_context, stagger=False
+        )
+        result = run(tasks, pool, record_trace=True, duration=0.5, warmup=0.0)
+        trace = result.trace
+        deadlines = {}
+        for record in trace.of_kind("stage_release"):
+            deadlines[record.get("stage")] = record.get("deadline")
+        # reconstruct queue contents: starts that happen strictly after
+        # their release (i.e. the stage actually waited in a queue)
+        starts = trace.of_kind("kernel_start")
+        released_at = {
+            r.get("stage"): r.time for r in trace.of_kind("stage_release")
+        }
+        waited = [
+            (record.time, record.get("kernel"), record.get("priority"))
+            for record in starts
+            if record.time > released_at.get(record.get("kernel"), 0.0) + 1e-9
+        ]
+        assert waited, "test needs enough load that some stages queue"
+        # when two LOW stages start at the same instant from the queue, the
+        # earlier-deadline one must start first (same-time order in the
+        # trace is dispatch order)
+        same_instant = {}
+        for time, label, priority in waited:
+            if priority == "LOW":
+                same_instant.setdefault(round(time, 9), []).append(label)
+        for labels in same_instant.values():
+            queue_deadlines = [deadlines[l] for l in labels if l in deadlines]
+            assert queue_deadlines == sorted(queue_deadlines)
+
+
+class TestSmallDevices:
+    def test_four_sm_device_still_works(self):
+        spec = GpuDeviceSpec(name="tiny", total_sms=4,
+                             aggregate_speedup_cap=4.0)
+        pool = ContextPoolConfig(num_contexts=1, sms_per_context=4.0)
+        tasks = identical_periodic_tasks(
+            1, nominal_sms=4.0, period=0.5, num_stages=2
+        )
+        result = run_simulation(
+            tasks, RunConfig(pool=pool, spec=spec, duration=2.0, warmup=0.0)
+        )
+        assert result.completed > 0
+
+    def test_single_stream_spec(self):
+        spec = GpuDeviceSpec(high_priority_streams=0, low_priority_streams=1)
+        pool = ContextPoolConfig(num_contexts=2, sms_per_context=34.0)
+        tasks = identical_periodic_tasks(4, nominal_sms=34.0)
+        result = run_simulation(
+            tasks, RunConfig(pool=pool, spec=spec, duration=1.0, warmup=0.2)
+        )
+        assert result.completed > 0
+
+
+class TestJitterRobustness:
+    def test_heavy_jitter_does_not_break_invariants(self):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        tasks = identical_periodic_tasks(20, nominal_sms=pool.sms_per_context)
+        result = run(tasks, pool, work_jitter_cv=0.5, seed=99)
+        assert 0.0 <= result.dmr <= 1.0
+        assert result.completed <= result.released
+        assert result.total_fps > 0
+
+    def test_wcet_margin_covers_small_jitter(self):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        tasks = identical_periodic_tasks(16, nominal_sms=pool.sms_per_context)
+        result = run(tasks, pool, work_jitter_cv=0.04, seed=5)
+        assert result.dmr == 0.0
+
+
+class TestMetricsConsistency:
+    @pytest.mark.parametrize("num_tasks", [4, 16, 28])
+    def test_fps_bounded_by_release_rate(self, num_tasks):
+        pool = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
+        tasks = identical_periodic_tasks(
+            num_tasks, nominal_sms=pool.sms_per_context
+        )
+        result = run(tasks, pool)
+        assert result.total_fps <= 30.0 * num_tasks * 1.05
+        assert 0.0 <= result.dmr <= 1.0
+
+    def test_completed_never_exceeds_released(self):
+        pool = ContextPoolConfig.from_oversubscription(3, 2.0, RTX_2080_TI)
+        tasks = identical_periodic_tasks(30, nominal_sms=pool.sms_per_context)
+        result = run(tasks, pool)
+        assert result.completed <= result.released

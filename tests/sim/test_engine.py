@@ -1,0 +1,219 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert SimulationEngine(start_time=5.0).now == 5.0
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(start_time=-1.0)
+
+    def test_schedule_advances_clock_on_fire(self):
+        engine = SimulationEngine()
+        engine.schedule(2.5, lambda: None)
+        engine.run()
+        assert engine.now == 2.5
+
+    def test_schedule_at_absolute_time(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_zero_delay_fires_same_instant(self):
+        engine = SimulationEngine()
+        order = []
+        def outer():
+            order.append("outer")
+            engine.schedule(0.0, lambda: order.append("inner"))
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert order == ["outer", "inner"]
+        assert engine.now == 1.0
+
+    def test_nan_time_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_at(float("nan"), lambda: None)
+
+    def test_infinite_time_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_at(float("inf"), lambda: None)
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for delay in (3.0, 1.0, 2.0):
+            engine.schedule(delay, lambda d=delay: fired.append(d))
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for index in range(10):
+            engine.schedule(1.0, lambda i=index: fired.append(i))
+        engine.run()
+        assert fired == list(range(10))
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            engine = SimulationEngine()
+            fired = []
+            for index in range(20):
+                engine.schedule((index * 7) % 5 * 0.1, lambda i=index: fired.append(i))
+            engine.run()
+            return fired
+        assert run_once() == run_once()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append(1))
+        engine.cancel(event)
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.cancel(event)
+        engine.cancel(event)
+        assert engine.pending_count == 0
+
+    def test_pending_count_excludes_cancelled(self):
+        engine = SimulationEngine()
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        engine.cancel(drop)
+        assert engine.pending_count == 1
+
+    def test_cancel_mid_run(self):
+        engine = SimulationEngine()
+        fired = []
+        later = engine.schedule(2.0, lambda: fired.append("later"))
+        engine.schedule(1.0, lambda: engine.cancel(later))
+        engine.run()
+        assert fired == []
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run_until(3.0)
+        assert fired == [1]
+        assert engine.now == 3.0
+        assert engine.pending_count == 1
+
+    def test_event_exactly_at_horizon_fires(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append(3))
+        engine.run_until(3.0)
+        assert fired == [3]
+
+    def test_horizon_before_now_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+    def test_clock_set_to_horizon_when_idle(self):
+        engine = SimulationEngine()
+        engine.run_until(10.0)
+        assert engine.now == 10.0
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        for index in range(10):
+            engine.schedule(0.1 * (index + 1), lambda: None)
+        fired = engine.run_until(100.0, max_events=3)
+        assert fired == 3
+        assert engine.pending_count == 7
+
+    def test_returns_event_count(self):
+        engine = SimulationEngine()
+        for index in range(5):
+            engine.schedule(0.1 * (index + 1), lambda: None)
+        assert engine.run_until(1.0) == 5
+
+
+class TestIntrospection:
+    def test_peek_time(self):
+        engine = SimulationEngine()
+        engine.schedule(2.0, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        assert engine.peek_time() == 1.0
+
+    def test_peek_time_empty(self):
+        assert SimulationEngine().peek_time() is None
+
+    def test_peek_skips_cancelled(self):
+        engine = SimulationEngine()
+        first = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.cancel(first)
+        assert engine.peek_time() == 2.0
+
+    def test_processed_count(self):
+        engine = SimulationEngine()
+        for index in range(4):
+            engine.schedule(0.1, lambda: None)
+        engine.run()
+        assert engine.processed_count == 4
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+
+class TestReentrancy:
+    def test_action_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        fired = []
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                engine.schedule(1.0, lambda: chain(depth + 1))
+        engine.schedule(1.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert engine.now == 6.0
+
+    def test_run_with_max_events(self):
+        engine = SimulationEngine()
+        def rearm():
+            engine.schedule(1.0, rearm)
+        engine.schedule(1.0, rearm)
+        fired = engine.run(max_events=50)
+        assert fired == 50
+        assert engine.now == 50.0

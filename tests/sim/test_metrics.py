@@ -1,0 +1,186 @@
+"""Unit tests for FPS / DMR metrics."""
+
+import pytest
+
+from repro.sim.metrics import JobRecord, MetricsCollector, StageRecord
+
+
+class TestJobRecord:
+    def test_completed_on_time_not_missed(self):
+        job = JobRecord("t", 0, release_time=0.0, absolute_deadline=1.0,
+                        finish_time=0.8)
+        assert not job.missed(now=10.0)
+
+    def test_completed_late_is_missed(self):
+        job = JobRecord("t", 0, 0.0, 1.0, finish_time=1.2)
+        assert job.missed(now=10.0)
+
+    def test_unfinished_past_deadline_is_missed(self):
+        job = JobRecord("t", 0, 0.0, 1.0)
+        assert job.missed(now=2.0)
+
+    def test_unfinished_before_deadline_not_missed_yet(self):
+        job = JobRecord("t", 0, 0.0, 1.0)
+        assert not job.missed(now=0.5)
+
+    def test_response_time(self):
+        job = JobRecord("t", 0, 1.0, 2.0, finish_time=1.7)
+        assert job.response_time == pytest.approx(0.7)
+
+    def test_response_time_none_when_unfinished(self):
+        assert JobRecord("t", 0, 0.0, 1.0).response_time is None
+
+
+class TestStageRecord:
+    def test_missed_when_late(self):
+        stage = StageRecord("t", 0, 2, 0.0, 0.5, finish_time=0.6)
+        assert stage.missed(now=10.0)
+
+    def test_not_missed_when_on_time(self):
+        stage = StageRecord("t", 0, 2, 0.0, 0.5, finish_time=0.4)
+        assert not stage.missed(now=10.0)
+
+
+class TestCollectorLifecycle:
+    def test_release_then_complete(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 1.0)
+        metrics.job_completed("a", 0, 0.5)
+        assert metrics.completed_count() == 1
+
+    def test_unknown_completion_raises(self):
+        metrics = MetricsCollector()
+        with pytest.raises(KeyError):
+            metrics.job_completed("ghost", 0, 1.0)
+
+    def test_double_completion_raises(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 1.0)
+        metrics.job_completed("a", 0, 0.5)
+        with pytest.raises(ValueError):
+            metrics.job_completed("a", 0, 0.6)
+
+    def test_released_count(self):
+        metrics = MetricsCollector()
+        for index in range(3):
+            metrics.job_released("a", index, float(index), float(index) + 1)
+        assert metrics.released_count() == 3
+
+
+class TestFps:
+    def test_fps_counts_completions_per_second(self):
+        metrics = MetricsCollector()
+        for index in range(10):
+            metrics.job_released("a", index, index * 0.1, index * 0.1 + 1)
+            metrics.job_completed("a", index, index * 0.1 + 0.05)
+        assert metrics.total_fps(now=2.0) == pytest.approx(5.0)
+
+    def test_fps_excludes_warmup_completions(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 0.0, 10.0)
+        metrics.job_completed("a", 0, 0.5)  # inside warmup
+        metrics.job_released("a", 1, 1.0, 10.0)
+        metrics.job_completed("a", 1, 1.5)
+        assert metrics.total_fps(now=2.0) == pytest.approx(1.0)
+
+    def test_fps_zero_window(self):
+        metrics = MetricsCollector(warmup=1.0)
+        assert metrics.total_fps(now=1.0) == 0.0
+
+    def test_per_task_fps(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 5.0)
+        metrics.job_completed("a", 0, 0.5)
+        metrics.job_released("b", 0, 0.0, 5.0)
+        metrics.job_completed("b", 0, 0.6)
+        metrics.job_released("b", 1, 1.0, 5.0)
+        metrics.job_completed("b", 1, 1.1)
+        per_task = metrics.per_task_fps(now=2.0)
+        assert per_task["a"] == pytest.approx(0.5)
+        assert per_task["b"] == pytest.approx(1.0)
+
+
+class TestDmr:
+    def test_no_jobs_zero_dmr(self):
+        assert MetricsCollector().deadline_miss_rate(now=10.0) == 0.0
+
+    def test_all_on_time(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 1.0)
+        metrics.job_completed("a", 0, 0.9)
+        assert metrics.deadline_miss_rate(now=2.0) == 0.0
+
+    def test_half_missed(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 1.0)
+        metrics.job_completed("a", 0, 0.9)
+        metrics.job_released("a", 1, 0.0, 1.0)
+        metrics.job_completed("a", 1, 1.5)
+        assert metrics.deadline_miss_rate(now=2.0) == pytest.approx(0.5)
+
+    def test_undecided_jobs_excluded(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 5.0)  # deadline not reached yet
+        assert metrics.deadline_miss_rate(now=1.0) == 0.0
+
+    def test_unfinished_expired_job_counts_missed(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 1.0)
+        assert metrics.deadline_miss_rate(now=2.0) == 1.0
+
+    def test_warmup_jobs_excluded(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 0.5, 0.9)  # inside warmup, missed
+        metrics.job_released("a", 1, 1.5, 2.0)
+        metrics.job_completed("a", 1, 1.8)
+        assert metrics.deadline_miss_rate(now=3.0) == 0.0
+
+    def test_per_task_dmr(self):
+        metrics = MetricsCollector()
+        metrics.job_released("good", 0, 0.0, 1.0)
+        metrics.job_completed("good", 0, 0.5)
+        metrics.job_released("bad", 0, 0.0, 1.0)
+        per_task = metrics.per_task_dmr(now=2.0)
+        assert per_task["good"] == 0.0
+        assert per_task["bad"] == 1.0
+
+
+class TestStageMetrics:
+    def test_stage_miss_rate(self):
+        metrics = MetricsCollector()
+        record = metrics.stage_released("a", 0, 0, 0.0, 0.5)
+        record.finish_time = 0.6
+        record2 = metrics.stage_released("a", 0, 1, 0.5, 1.0)
+        record2.finish_time = 0.9
+        assert metrics.stage_miss_rate(now=2.0) == pytest.approx(0.5)
+
+    def test_stage_miss_rate_empty(self):
+        assert MetricsCollector().stage_miss_rate(now=1.0) == 0.0
+
+
+class TestResponseTimes:
+    def make_metrics(self):
+        metrics = MetricsCollector()
+        for index, response in enumerate([0.1, 0.3, 0.2, 0.5, 0.4]):
+            metrics.job_released("a", index, 1.0, 2.0)
+            metrics.job_completed("a", index, 1.0 + response)
+        return metrics
+
+    def test_sorted_response_times(self):
+        metrics = self.make_metrics()
+        assert metrics.response_times() == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_median(self):
+        metrics = self.make_metrics()
+        assert metrics.response_time_percentile(0.5) == pytest.approx(0.3)
+
+    def test_max_percentile(self):
+        metrics = self.make_metrics()
+        assert metrics.response_time_percentile(1.0) == pytest.approx(0.5)
+
+    def test_percentile_empty(self):
+        assert MetricsCollector().response_time_percentile(0.5) is None
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.make_metrics().response_time_percentile(1.5)

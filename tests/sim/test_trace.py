@@ -1,0 +1,80 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+class TestRecording:
+    def test_record_and_len(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "alpha", x=1)
+        trace.record(2.0, "beta")
+        assert len(trace) == 2
+
+    def test_disabled_recorder_drops_everything(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "alpha")
+        assert len(trace) == 0
+
+    def test_kind_filter(self):
+        trace = TraceRecorder(kinds={"keep"})
+        trace.record(1.0, "keep")
+        trace.record(2.0, "drop")
+        assert len(trace) == 1
+        assert trace.of_kind("drop") == []
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "alpha")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_iteration_preserves_order(self):
+        trace = TraceRecorder()
+        for index in range(5):
+            trace.record(float(index), "tick", i=index)
+        assert [r.get("i") for r in trace] == [0, 1, 2, 3, 4]
+
+
+class TestQueries:
+    def make_trace(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "start", job=1)
+        trace.record(2.0, "finish", job=1)
+        trace.record(3.0, "start", job=2)
+        return trace
+
+    def test_of_kind(self):
+        trace = self.make_trace()
+        starts = trace.of_kind("start")
+        assert [r.get("job") for r in starts] == [1, 2]
+
+    def test_where(self):
+        trace = self.make_trace()
+        late = trace.where(lambda r: r.time >= 2.0)
+        assert len(late) == 2
+
+    def test_kinds_histogram(self):
+        trace = self.make_trace()
+        assert trace.kinds() == {"start": 2, "finish": 1}
+
+    def test_last(self):
+        trace = self.make_trace()
+        assert trace.last().time == 3.0
+
+    def test_last_of_kind(self):
+        trace = self.make_trace()
+        assert trace.last("finish").time == 2.0
+
+    def test_last_missing_kind(self):
+        trace = self.make_trace()
+        assert trace.last("nonexistent") is None
+
+    def test_last_empty(self):
+        assert TraceRecorder().last() is None
+
+
+class TestTraceRecord:
+    def test_get_with_default(self):
+        record = TraceRecord(1.0, "kind", {"a": 1})
+        assert record.get("a") == 1
+        assert record.get("b", "fallback") == "fallback"

@@ -1,0 +1,183 @@
+"""Calibration tests: the simulated device must reproduce the paper's Fig. 1.
+
+These are the quantitative anchors of the whole reproduction: convolution
+~32x, max pooling ~14x, every other operation below 7x, and the composite
+ResNet18 at ~23x on 68 SMs.
+"""
+
+import pytest
+
+from repro.dnn.ops import Operator, OpType
+from repro.dnn.resnet import build_resnet18
+from repro.speedup.calibration import (
+    DEFAULT_CALIBRATION,
+    DeviceCalibration,
+    instance_curve,
+    operator_base_time,
+    operator_curve,
+    operator_time_at,
+    operator_width_limit,
+    operator_work_time,
+)
+from repro.speedup.measure import (
+    measure_network_speedup,
+    measure_op_speedups,
+    speedup_at,
+)
+
+
+@pytest.fixture(scope="module")
+def resnet18():
+    return build_resnet18()
+
+
+@pytest.fixture(scope="module")
+def fig1(resnet18):
+    return measure_op_speedups(resnet18, sm_counts=[1, 8, 34, 68])
+
+
+class TestFig1Anchors:
+    def test_conv_reaches_about_32x(self, fig1):
+        value = speedup_at(fig1[OpType.CONV2D], 68)
+        assert 30.0 <= value <= 34.0
+
+    def test_maxpool_reaches_about_14x(self, fig1):
+        value = speedup_at(fig1[OpType.MAXPOOL], 68)
+        assert 12.5 <= value <= 15.5
+
+    def test_other_operations_below_7x(self, fig1):
+        for op_type, points in fig1.items():
+            if op_type in (OpType.CONV2D, OpType.MAXPOOL):
+                continue
+            assert speedup_at(points, 68) <= 7.0, op_type
+
+    def test_conv_dominates_everything(self, fig1):
+        conv = speedup_at(fig1[OpType.CONV2D], 68)
+        for op_type, points in fig1.items():
+            if op_type is not OpType.CONV2D:
+                assert conv > speedup_at(points, 68)
+
+    def test_maxpool_second_best(self, fig1):
+        maxpool = speedup_at(fig1[OpType.MAXPOOL], 68)
+        for op_type, points in fig1.items():
+            if op_type not in (OpType.CONV2D, OpType.MAXPOOL):
+                assert maxpool > speedup_at(points, 68)
+
+    def test_all_curves_monotone(self, fig1):
+        for points in fig1.values():
+            speedups = [v for _, v in points]
+            assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+    def test_speedup_at_one_sm_is_one(self, fig1):
+        for points in fig1.values():
+            assert speedup_at(points, 1) == pytest.approx(1.0)
+
+
+class TestNetworkComposite:
+    def test_resnet18_reaches_about_23x(self, resnet18):
+        curve = measure_network_speedup(resnet18, sm_counts=[68])
+        assert 21.0 <= curve[0][1] <= 25.0
+
+    def test_network_below_conv_alone(self, resnet18, fig1):
+        net = measure_network_speedup(resnet18, sm_counts=[68])[0][1]
+        conv = speedup_at(fig1[OpType.CONV2D], 68)
+        assert net < conv
+
+    def test_full_gpu_latency_in_milliseconds(self, resnet18):
+        """ResNet18 on the full device should land in the 2-5 ms range
+        reported for this device class."""
+        from repro.speedup.composite import composite_for_ops
+        composite = composite_for_ops("net", resnet18.topological_order())
+        assert 2e-3 <= composite.time_at(68) <= 5e-3
+
+
+class TestCostModel:
+    def make_conv(self):
+        return Operator(
+            name="c",
+            op_type=OpType.CONV2D,
+            input_shape=(64, 56, 56),
+            output_shape=(64, 56, 56),
+            flops=1e9,
+            bytes_moved=1e6,
+        )
+
+    def test_compute_bound_op_uses_flop_time(self):
+        op = self.make_conv()
+        expected = 1e9 / DEFAULT_CALIBRATION.compute_rate_per_sm
+        assert operator_work_time(op) == pytest.approx(expected)
+
+    def test_memory_bound_op_uses_byte_time(self):
+        op = Operator(
+            name="r",
+            op_type=OpType.RELU,
+            input_shape=(64, 56, 56),
+            output_shape=(64, 56, 56),
+            flops=200704.0,
+            bytes_moved=1.6e6,
+        )
+        expected = 1.6e6 / DEFAULT_CALIBRATION.bandwidth_per_sm
+        assert operator_work_time(op) == pytest.approx(expected)
+
+    def test_base_time_includes_launch_overhead(self):
+        op = self.make_conv()
+        assert operator_base_time(op) == pytest.approx(
+            operator_work_time(op) + DEFAULT_CALIBRATION.launch_overhead
+        )
+
+    def test_time_at_decreases_with_sms(self):
+        op = self.make_conv()
+        assert operator_time_at(op, 34) < operator_time_at(op, 8)
+
+    def test_time_at_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            operator_time_at(self.make_conv(), 0)
+
+    def test_width_limit_small_output(self):
+        op = Operator(
+            name="fc",
+            op_type=OpType.LINEAR,
+            input_shape=(512,),
+            output_shape=(10,),
+            flops=10240.0,
+            bytes_moved=2088.0,
+        )
+        assert operator_width_limit(op) == pytest.approx(1.0)
+
+    def test_width_limit_large_tensor_capped_at_device(self):
+        op = self.make_conv()
+        assert operator_width_limit(op) == DEFAULT_CALIBRATION.total_sms
+
+    def test_instance_curve_respects_width(self):
+        op = Operator(
+            name="tiny",
+            op_type=OpType.CONV2D,
+            input_shape=(8, 8, 8),
+            output_shape=(8, 8, 8),
+            flops=1e6,
+            bytes_moved=1e4,
+        )
+        curve = instance_curve(op)
+        assert curve.speedup(68) == pytest.approx(curve.speedup(curve.width))
+
+
+class TestDeviceCalibration:
+    def test_default_is_68_sms(self):
+        assert DEFAULT_CALIBRATION.total_sms == 68
+
+    def test_sigma_lookup(self):
+        sigma = DEFAULT_CALIBRATION.sigma(OpType.CONV2D)
+        assert 0.0 < sigma < 0.05
+
+    def test_validation_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            DeviceCalibration(compute_rate_per_sm=0)
+
+    def test_validation_rejects_bad_targets(self):
+        with pytest.raises(ValueError):
+            DeviceCalibration(speedup_targets={OpType.CONV2D: 100.0})
+
+    def test_curve_cache_returns_same_object(self):
+        a = operator_curve(OpType.CONV2D)
+        b = operator_curve(OpType.CONV2D)
+        assert a is b

@@ -1,0 +1,67 @@
+"""Unit tests for curve fitting."""
+
+import pytest
+
+from repro.speedup.fitting import fit_curve, fit_quality, fit_sigma
+from repro.speedup.model import SaturatingCurve
+
+
+class TestFitSigma:
+    def test_recovers_exact_sigma(self):
+        truth = SaturatingCurve(0.03)
+        points = [(s, truth.speedup(s)) for s in (2, 8, 16, 34, 68)]
+        assert fit_sigma(points) == pytest.approx(0.03, rel=1e-9)
+
+    def test_recovers_linear_speedup(self):
+        points = [(s, float(s)) for s in (2, 4, 8)]
+        assert fit_sigma(points) == pytest.approx(0.0, abs=1e-12)
+
+    def test_noisy_fit_close(self):
+        truth = SaturatingCurve(0.05)
+        points = [
+            (s, truth.speedup(s) * factor)
+            for s, factor in [(4, 1.02), (16, 0.98), (34, 1.01), (68, 0.99)]
+        ]
+        assert fit_sigma(points) == pytest.approx(0.05, rel=0.3)
+
+    def test_ignores_one_sm_point(self):
+        truth = SaturatingCurve(0.1)
+        points = [(1, 1.0)] + [(s, truth.speedup(s)) for s in (8, 34)]
+        assert fit_sigma(points) == pytest.approx(0.1, rel=1e-9)
+
+    def test_requires_informative_point(self):
+        with pytest.raises(ValueError):
+            fit_sigma([(1, 1.0)])
+
+    def test_rejects_non_positive_speedup(self):
+        with pytest.raises(ValueError):
+            fit_sigma([(8, 0.0)])
+
+    def test_clamped_to_valid_range(self):
+        # pathological data implying negative sigma
+        points = [(8, 9.0), (16, 20.0)]
+        assert 0.0 <= fit_sigma(points) <= 1.0
+
+
+class TestFitCurve:
+    def test_returns_curve(self):
+        truth = SaturatingCurve(0.02)
+        curve = fit_curve([(s, truth.speedup(s)) for s in (8, 34, 68)])
+        assert curve.speedup(68) == pytest.approx(truth.speedup(68), rel=1e-6)
+
+
+class TestFitQuality:
+    def test_perfect_fit_zero_error(self):
+        truth = SaturatingCurve(0.04)
+        points = [(s, truth.speedup(s)) for s in (4, 16, 68)]
+        assert fit_quality(truth, points) == pytest.approx(0.0, abs=1e-12)
+
+    def test_error_grows_with_mismatch(self):
+        points = [(s, SaturatingCurve(0.04).speedup(s)) for s in (4, 16, 68)]
+        close = fit_quality(SaturatingCurve(0.05), points)
+        far = fit_quality(SaturatingCurve(0.5), points)
+        assert far > close
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_quality(SaturatingCurve(0.1), [])

@@ -1,0 +1,90 @@
+"""Unit tests for the isolation measurement harness."""
+
+import pytest
+
+from repro.dnn.models import build_mlp, build_simple_cnn
+from repro.dnn.ops import OpType
+from repro.dnn.resnet import build_resnet18
+from repro.speedup.measure import (
+    default_sm_grid,
+    measure_network_speedup,
+    measure_op_speedups,
+    measure_operator_curve,
+    speedup_at,
+    widest_instance,
+)
+
+
+class TestSmGrid:
+    def test_includes_device_max(self):
+        assert default_sm_grid(68)[-1] == 68
+
+    def test_starts_at_one(self):
+        assert default_sm_grid(68)[0] == 1
+
+    def test_strictly_increasing(self):
+        grid = default_sm_grid(68)
+        assert all(b > a for a, b in zip(grid, grid[1:]))
+
+    def test_small_device(self):
+        grid = default_sm_grid(10)
+        assert grid == [1, 2, 4, 8, 10]
+
+
+class TestWidestInstance:
+    def test_conv_widest_is_stem(self):
+        graph = build_resnet18()
+        instance = widest_instance(graph, OpType.CONV2D)
+        assert instance.name == "conv1"
+
+    def test_missing_type_returns_none(self):
+        graph = build_mlp()
+        assert widest_instance(graph, OpType.CONV2D) is None
+
+    def test_marker_nodes_skipped(self):
+        graph = build_resnet18()
+        # the zero-cost input marker is FLATTEN-typed but must not win
+        instance = widest_instance(graph, OpType.FLATTEN)
+        assert instance.name != "input"
+
+
+class TestMeasurement:
+    def test_measures_all_types_present(self):
+        graph = build_simple_cnn()
+        curves = measure_op_speedups(graph, sm_counts=[1, 68])
+        present = {op.op_type for op in graph if op.flops > 0 or op.bytes_moved > 0}
+        assert set(curves) == present
+
+    def test_explicit_type_subset(self):
+        graph = build_resnet18()
+        curves = measure_op_speedups(
+            graph, sm_counts=[1, 68], op_types=[OpType.CONV2D]
+        )
+        assert list(curves) == [OpType.CONV2D]
+
+    def test_curve_points_match_grid(self):
+        graph = build_simple_cnn()
+        curves = measure_op_speedups(graph, sm_counts=[1, 8, 68])
+        for points in curves.values():
+            assert [sms for sms, _ in points] == [1, 8, 68]
+
+    def test_operator_curve_normalised_to_one_sm(self):
+        graph = build_resnet18()
+        conv = widest_instance(graph, OpType.CONV2D)
+        points = measure_operator_curve(conv, [1, 34])
+        assert points[0][1] == pytest.approx(1.0)
+
+    def test_network_curve_monotone(self):
+        graph = build_simple_cnn()
+        points = measure_network_speedup(graph)
+        values = [v for _, v in points]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestSpeedupAt:
+    def test_lookup(self):
+        assert speedup_at([(1, 1.0), (68, 20.0)], 68) == 20.0
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            speedup_at([(1, 1.0)], 34)

@@ -1,0 +1,109 @@
+"""Unit tests for workload generation."""
+
+import pytest
+
+from repro.dnn.models import build_simple_cnn
+from repro.dnn.resnet import build_resnet34
+from repro.workloads.generator import (
+    DEFAULT_NUM_STAGES,
+    DEFAULT_PERIOD,
+    clone_task,
+    identical_periodic_tasks,
+    mixed_task_set,
+)
+
+
+class TestIdenticalTasks:
+    def test_count(self):
+        tasks = identical_periodic_tasks(5, nominal_sms=34.0)
+        assert len(tasks) == 5
+
+    def test_default_rate_is_30fps(self):
+        tasks = identical_periodic_tasks(2, nominal_sms=34.0)
+        for task in tasks:
+            assert task.fps == pytest.approx(30.0)
+
+    def test_default_six_stages(self):
+        tasks = identical_periodic_tasks(1, nominal_sms=34.0)
+        assert tasks[0].num_stages == DEFAULT_NUM_STAGES == 6
+
+    def test_unique_names(self):
+        tasks = identical_periodic_tasks(4, nominal_sms=34.0)
+        names = [t.name for t in tasks]
+        assert len(set(names)) == 4
+
+    def test_staggered_offsets(self):
+        tasks = identical_periodic_tasks(4, nominal_sms=34.0)
+        offsets = [t.release_offset for t in tasks]
+        assert offsets == pytest.approx(
+            [i * DEFAULT_PERIOD / 4 for i in range(4)]
+        )
+        assert all(offset < DEFAULT_PERIOD for offset in offsets)
+
+    def test_synchronous_option(self):
+        tasks = identical_periodic_tasks(4, nominal_sms=34.0, stagger=False)
+        assert all(t.release_offset == 0.0 for t in tasks)
+
+    def test_tasks_identical_except_name_offset(self):
+        tasks = identical_periodic_tasks(2, nominal_sms=34.0)
+        first, second = tasks[0], tasks[1]
+        assert first.total_wcet == pytest.approx(second.total_wcet)
+        assert [s.wcet for s in first.stages] == pytest.approx(
+            [s.wcet for s in second.stages]
+        )
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            identical_periodic_tasks(0, nominal_sms=34.0)
+
+    def test_template_cache_shares_composites(self):
+        a = identical_periodic_tasks(1, nominal_sms=34.0)
+        b = identical_periodic_tasks(1, nominal_sms=34.0)
+        assert a[0].stages[0].composite is b[0].stages[0].composite
+
+    def test_custom_stage_count(self):
+        tasks = identical_periodic_tasks(1, nominal_sms=34.0, num_stages=1)
+        assert tasks[0].num_stages == 1
+
+
+class TestCloneTask:
+    def test_clone_independent_stage_specs(self):
+        tasks = identical_periodic_tasks(1, nominal_sms=34.0)
+        clone = clone_task(tasks[0], "copy", 0.01)
+        clone.stages[0].virtual_deadline = 999.0
+        assert tasks[0].stages[0].virtual_deadline != 999.0
+
+    def test_clone_fields(self):
+        tasks = identical_periodic_tasks(1, nominal_sms=34.0)
+        clone = clone_task(tasks[0], "copy", 0.02)
+        assert clone.name == "copy"
+        assert clone.release_offset == pytest.approx(0.02)
+        assert clone.period == tasks[0].period
+
+
+class TestMixedTaskSet:
+    def test_heterogeneous_mix(self):
+        tasks = mixed_task_set(
+            [
+                (build_simple_cnn, "cnn", 1 / 60, 2),
+                (build_resnet34, "resnet34", 1 / 10, 6),
+            ],
+            nominal_sms=34.0,
+        )
+        assert len(tasks) == 2
+        assert tasks[0].fps == pytest.approx(60.0)
+        assert tasks[1].num_stages == 6
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_task_set([], nominal_sms=34.0)
+
+    def test_heavier_network_longer_wcet(self):
+        tasks = mixed_task_set(
+            [
+                (build_simple_cnn, "cnn", 1 / 30, 2),
+                (build_resnet34, "resnet34", 1 / 30, 2),
+            ],
+            nominal_sms=34.0,
+        )
+        assert tasks[1].total_wcet > tasks[0].total_wcet * 10
