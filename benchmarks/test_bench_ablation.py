@@ -7,17 +7,25 @@ A2  MEDIUM priority promotion (Section IV-B3) on/off.
 A3  Stage count: the paper divides each task into six stages; sweep 1..12.
 A4  Stream borrowing: strict two-high/two-low stream classes vs the
     work-conserving default.
+
+The SGPRS-shaped runs go through the :mod:`repro.exp` grid harness: the
+bespoke scheduler subclasses are registered as named variants
+(:func:`repro.exp.register_variant`) and each measurement is one
+:class:`~repro.exp.grid.GridPoint` evaluated by the same worker the
+parallel sweeps shard over processes.
 """
 
 import pytest
 
 from benchmarks.conftest import emit
 from repro.core.context_pool import ContextPoolConfig
-from repro.core.runner import RunConfig, run_simulation
 from repro.core.sgprs import SgprsScheduler
+from repro.exp.grid import GridPoint, register_variant
+from repro.exp.worker import run_point
 from repro.gpu.mps import SpatialReconfig
 from repro.gpu.spec import RTX_2080_TI
-from repro.workloads.generator import identical_periodic_tasks
+
+pytestmark = pytest.mark.slow
 
 POOL = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
 # 28 tasks: deep enough into overload that stage-level virtual deadlines
@@ -25,18 +33,6 @@ POOL = ContextPoolConfig.from_oversubscription(2, 1.5, RTX_2080_TI)
 OVERLOAD_TASKS = 28
 DURATION = 3.0
 WARMUP = 1.0
-
-
-def run_sgprs(scheduler_cls=SgprsScheduler, num_tasks=OVERLOAD_TASKS,
-              num_stages=6, pool=POOL):
-    tasks = identical_periodic_tasks(
-        num_tasks, nominal_sms=pool.sms_per_context, num_stages=num_stages
-    )
-    return run_simulation(
-        tasks,
-        RunConfig(pool=pool, scheduler=scheduler_cls, duration=DURATION,
-                  warmup=WARMUP),
-    )
 
 
 class ReconfiguringSgprs(SgprsScheduler):
@@ -56,9 +52,35 @@ class NoPromotionSgprs(SgprsScheduler):
     enable_medium_promotion = False
 
 
+register_variant(
+    "ablation_reconfig", lambda stages: (ReconfiguringSgprs, 1.5, stages)
+)
+register_variant(
+    "ablation_no_medium", lambda stages: (NoPromotionSgprs, 1.5, stages)
+)
+
+
+def run_sgprs(variant="sgprs_1.5", num_tasks=OVERLOAD_TASKS, num_stages=6,
+              allow_stream_borrowing=True):
+    """One ablation measurement as a grid point (scenario-1 style pool)."""
+    return run_point(
+        GridPoint(
+            scenario="ablation",
+            num_contexts=POOL.num_contexts,
+            variant=variant,
+            num_tasks=num_tasks,
+            seed=0,
+            duration=DURATION,
+            warmup=WARMUP,
+            num_stages=num_stages,
+            allow_stream_borrowing=allow_stream_borrowing,
+        )
+    )
+
+
 def test_a1_zero_configuration_switch(benchmark):
     baseline = benchmark.pedantic(run_sgprs, rounds=1, iterations=1)
-    reconfig = run_sgprs(ReconfiguringSgprs)
+    reconfig = run_sgprs("ablation_reconfig")
     emit(
         "bench_ablation.txt",
         f"A1 zero-config switch @{OVERLOAD_TASKS} tasks: "
@@ -74,7 +96,7 @@ def test_a1_zero_configuration_switch(benchmark):
 
 def test_a2_medium_promotion(benchmark):
     with_promotion = benchmark.pedantic(run_sgprs, rounds=1, iterations=1)
-    without = run_sgprs(NoPromotionSgprs)
+    without = run_sgprs("ablation_no_medium")
     emit(
         "bench_ablation.txt",
         f"A2 medium promotion @{OVERLOAD_TASKS} tasks: "
@@ -108,13 +130,8 @@ def test_a3_stage_count(benchmark):
 
 
 def test_a4_stream_borrowing(benchmark):
-    strict_pool = ContextPoolConfig(
-        num_contexts=POOL.num_contexts,
-        sms_per_context=POOL.sms_per_context,
-        allow_stream_borrowing=False,
-    )
     work_conserving = benchmark.pedantic(run_sgprs, rounds=1, iterations=1)
-    strict = run_sgprs(pool=strict_pool)
+    strict = run_sgprs(allow_stream_borrowing=False)
     emit(
         "bench_ablation.txt",
         f"A4 stream borrowing @{OVERLOAD_TASKS} tasks: "

@@ -8,6 +8,8 @@ convolution ~32x, max pooling ~14x, everything else <= 7x, ResNet18 ~23x.
 import pytest
 
 from benchmarks.conftest import emit
+
+pytestmark = pytest.mark.slow
 from repro.analysis.report import render_fig1_table
 from repro.dnn.ops import OpType
 from repro.dnn.resnet import build_resnet18

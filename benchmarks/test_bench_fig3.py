@@ -9,15 +9,19 @@ and asserts the paper's shape findings:
 * SGPRS sustains its plateau beyond the pivot with a moderate DMR slope.
 
 Grid and horizons are reduced relative to ``python -m repro fig3`` so the
-benchmark suite finishes in minutes; the shapes are identical.
+benchmark suite finishes in minutes; the shapes are identical.  The sweep
+runs through the :mod:`repro.exp` harness — set ``REPRO_BENCH_WORKERS`` /
+``REPRO_BENCH_CACHE`` to shard or cache it.
 """
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_cache_dir, bench_workers, emit
 from repro.analysis.pivot import find_pivot
 from repro.analysis.report import render_sweep_table
 from repro.workloads.scenarios import SCENARIO_1, run_scenario_sweep
+
+pytestmark = pytest.mark.slow
 
 TASK_COUNTS = [8, 14, 16, 20, 23, 25, 28, 30]
 DURATION = 3.0
@@ -27,7 +31,12 @@ WARMUP = 1.0
 @pytest.fixture(scope="module")
 def sweep():
     return run_scenario_sweep(
-        SCENARIO_1, TASK_COUNTS, duration=DURATION, warmup=WARMUP
+        SCENARIO_1,
+        TASK_COUNTS,
+        duration=DURATION,
+        warmup=WARMUP,
+        workers=bench_workers(),
+        cache_dir=bench_cache_dir(),
     )
 
 

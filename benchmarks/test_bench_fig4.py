@@ -12,10 +12,12 @@ Scenario-2 findings:
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_cache_dir, bench_workers, emit
 from repro.analysis.pivot import find_pivot
 from repro.analysis.report import render_sweep_table
 from repro.workloads.scenarios import SCENARIO_2, run_scenario_sweep
+
+pytestmark = pytest.mark.slow
 
 TASK_COUNTS = [8, 14, 16, 20, 24, 26, 28, 30]
 DURATION = 3.0
@@ -25,7 +27,12 @@ WARMUP = 1.0
 @pytest.fixture(scope="module")
 def sweep():
     return run_scenario_sweep(
-        SCENARIO_2, TASK_COUNTS, duration=DURATION, warmup=WARMUP
+        SCENARIO_2,
+        TASK_COUNTS,
+        duration=DURATION,
+        warmup=WARMUP,
+        workers=bench_workers(),
+        cache_dir=bench_cache_dir(),
     )
 
 

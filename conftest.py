@@ -1,0 +1,33 @@
+"""Repo-wide pytest configuration: the fast/slow test split.
+
+The default run (``PYTHONPATH=src python -m pytest -x -q``) skips tests
+marked ``slow`` — the full-grid benchmarks under ``benchmarks/`` and the
+long integration sweeps — so it stays a sub-two-minute gate.  The slow
+tier runs with::
+
+    PYTHONPATH=src python -m pytest --runslow          # everything
+    PYTHONPATH=src python -m pytest -m slow --runslow  # only the slow tier
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (benchmarks, long sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    if "slow" in (config.getoption("markexpr") or ""):
+        # an explicit -m expression naming 'slow' is its own opt-in
+        return
+    skip_slow = pytest.mark.skip(reason="slow: needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

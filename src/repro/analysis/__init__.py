@@ -1,6 +1,11 @@
 """Result analysis: pivots, capacity planning, timelines, persistence."""
 
-from repro.analysis.persistence import load_sweep, save_sweep
+from repro.analysis.persistence import (
+    load_grid,
+    load_sweep,
+    save_grid,
+    save_sweep,
+)
 from repro.analysis.pivot import find_pivot, pivot_table
 from repro.analysis.planner import (
     CapacityPlan,
@@ -9,6 +14,7 @@ from repro.analysis.planner import (
 )
 from repro.analysis.report import (
     ascii_chart,
+    render_aggregate_table,
     render_fig1_table,
     render_sweep_table,
     sweep_to_csv,
@@ -42,6 +48,9 @@ __all__ = [
     "context_occupancy",
     "stage_latency_breakdown",
     "render_gantt",
+    "render_aggregate_table",
     "save_sweep",
     "load_sweep",
+    "save_grid",
+    "load_grid",
 ]

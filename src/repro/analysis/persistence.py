@@ -3,17 +3,31 @@
 Sweeps are expensive; persisting them lets EXPERIMENTS.md, notebooks and
 regression checks reuse one run.  The format is a plain versioned JSON
 document, deliberately boring.
+
+Two document shapes exist:
+
+* the classic *sweep* document (``FORMAT_VERSION``): seed-collapsed
+  ``variant -> points``, enough to re-render a figure;
+* the *grid* document (``GRID_FORMAT_VERSION``): the full
+  :class:`~repro.exp.grid.GridSpec` plus every per-seed
+  :class:`~repro.exp.worker.PointResult`, so aggregation (mean/CI) can be
+  redone offline without re-simulating.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Union
 
+from repro.exp.grid import GridSpec
+from repro.exp.runner import GridResult
+from repro.exp.worker import PointResult
 from repro.workloads.scenarios import SweepPoint
 
 FORMAT_VERSION = 1
+GRID_FORMAT_VERSION = 1
 
 
 def sweep_to_dict(sweep: Dict[str, List[SweepPoint]]) -> dict:
@@ -73,3 +87,44 @@ def load_sweep(path: Union[str, Path]) -> Dict[str, List[SweepPoint]]:
     """Read a sweep from a JSON file."""
     with open(path) as handle:
         return sweep_from_dict(json.load(handle))
+
+
+def grid_to_dict(result: GridResult) -> dict:
+    """Serialisable representation of a full grid run (per-seed points)."""
+    return {
+        "version": GRID_FORMAT_VERSION,
+        "spec": asdict(result.spec),
+        "points": [point.to_dict() for point in result.results],
+    }
+
+
+def grid_from_dict(payload: dict) -> GridResult:
+    """Inverse of :func:`grid_to_dict` (cache/timing provenance is not kept).
+
+    Raises
+    ------
+    ValueError
+        On a missing or unsupported format version.
+    """
+    version = payload.get("version")
+    if version != GRID_FORMAT_VERSION:
+        raise ValueError(f"unsupported grid format version: {version!r}")
+    spec_fields = dict(payload["spec"])
+    for key in ("variants", "task_counts", "seeds"):
+        spec_fields[key] = tuple(spec_fields[key])
+    return GridResult(
+        spec=GridSpec(**spec_fields),
+        results=[PointResult.from_dict(row) for row in payload["points"]],
+    )
+
+
+def save_grid(result: GridResult, path: Union[str, Path]) -> None:
+    """Write a grid run to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(grid_to_dict(result), handle, indent=1)
+
+
+def load_grid(path: Union[str, Path]) -> GridResult:
+    """Read a grid run from a JSON file."""
+    with open(path) as handle:
+        return grid_from_dict(json.load(handle))

@@ -11,6 +11,7 @@ import io
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.dnn.ops import OpType
+from repro.exp.aggregate import AggregatePoint
 from repro.workloads.scenarios import SweepPoint
 
 
@@ -64,6 +65,44 @@ def render_sweep_table(
                 row.append(f"{point.total_fps:.1f}")
             else:
                 row.append(f"{point.dmr * 100:.1f}%")
+        rows.append(row)
+    table = _format_table(header, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def render_aggregate_table(
+    aggregates: Dict[str, List[AggregatePoint]],
+    metric: str = "total_fps",
+    title: str = "",
+) -> str:
+    """Seed-replicated sweep as text: ``mean +/- ci95`` cells.
+
+    ``metric`` selects FPS or DMR, as in :func:`render_sweep_table`; the
+    half-width comes from :func:`repro.exp.aggregate.mean_ci` over the
+    grid's replication seeds.
+    """
+    if metric not in ("total_fps", "dmr"):
+        raise ValueError(f"metric must be 'total_fps' or 'dmr', got {metric!r}")
+    variants = list(aggregates)
+    counts = sorted(
+        {a.num_tasks for points in aggregates.values() for a in points}
+    )
+    lookup = {
+        variant: {a.num_tasks: a for a in points}
+        for variant, points in aggregates.items()
+    }
+    header = ["tasks"] + variants
+    rows: List[List[str]] = []
+    for count in counts:
+        row = [str(count)]
+        for variant in variants:
+            agg = lookup[variant].get(count)
+            if agg is None:
+                row.append("-")
+            elif metric == "total_fps":
+                row.append(f"{agg.mean_fps:.1f}±{agg.ci_fps:.1f}")
+            else:
+                row.append(f"{agg.mean_dmr * 100:.1f}±{agg.ci_dmr * 100:.1f}%")
         rows.append(row)
     table = _format_table(header, rows)
     return f"{title}\n{table}" if title else table

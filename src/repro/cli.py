@@ -8,8 +8,18 @@ Usage::
     python -m repro all  [--fast]        # everything
     python -m repro fig3 --csv out.csv   # also export the sweep as CSV
 
+    # the parallel sweep harness (repro.exp): sharded, cached, replicated
+    python -m repro sweep --scenario 1 --workers 4
+    python -m repro sweep --scenario 2 --seeds 5 --jitter-cv 0.1
+    python -m repro sweep --cache-dir .sweep-cache --out grid.json
+
 ``--fast`` shrinks the task grid and simulation horizon for a quick look;
 the benchmark harness under ``benchmarks/`` runs the full-fidelity version.
+``sweep`` runs the same grids through :func:`repro.exp.runner.run_grid`:
+``--workers N`` shards points over N processes, ``--cache-dir`` skips
+already-computed points, and ``--seeds K`` replicates every point over K
+seeds and reports mean +/- 95% CI (pair it with ``--jitter-cv`` — with
+zero jitter the replicas are identical by design).
 """
 
 from __future__ import annotations
@@ -21,17 +31,20 @@ from typing import Optional, Sequence
 from repro.analysis.pivot import pivot_table
 from repro.analysis.report import (
     ascii_chart,
+    render_aggregate_table,
     render_fig1_table,
     render_sweep_table,
     sweep_to_csv,
 )
 from repro.dnn.resnet import build_resnet18
+from repro.exp.runner import run_grid
 from repro.speedup.measure import measure_network_speedup, measure_op_speedups
 from repro.workloads.scenarios import (
     SCENARIO_1,
     SCENARIO_2,
     Scenario,
     run_scenario_sweep,
+    scenario_grid,
 )
 
 #: Task grid of the full sweeps (the paper sweeps to ~30 tasks).
@@ -80,26 +93,146 @@ def _scenario(
         print(f"CSV written to {args.csv}")
 
 
+def _sweep(args: argparse.Namespace) -> None:
+    scenario = SCENARIO_1 if args.scenario == 1 else SCENARIO_2
+    counts = FAST_TASK_COUNTS if args.fast else FULL_TASK_COUNTS
+    duration = 2.5 if args.fast else 6.0
+    warmup = 1.0 if args.fast else 1.5
+    grid = scenario_grid(
+        scenario,
+        sorted(counts),
+        duration=duration,
+        warmup=warmup,
+        seeds=tuple(range(args.seeds)),
+        work_jitter_cv=args.jitter_cv,
+    )
+    result = run_grid(grid, workers=args.workers, cache_dir=args.cache_dir)
+    print(
+        f"sweep {scenario.name} ({scenario.num_contexts} contexts): "
+        f"{len(result.results)} points in {result.elapsed:.2f}s "
+        f"({result.cache_hits} cached, {result.cache_misses} computed, "
+        f"workers={args.workers})"
+    )
+    if args.seeds > 1:
+        aggregates = result.aggregate()
+        print(
+            render_aggregate_table(
+                aggregates,
+                "total_fps",
+                title=f"total FPS, mean±ci95 over {args.seeds} seeds",
+            )
+        )
+        print()
+        print(
+            render_aggregate_table(
+                aggregates,
+                "dmr",
+                title=f"deadline miss rate, mean±ci95 over {args.seeds} seeds",
+            )
+        )
+    else:
+        sweep = result.sweep()
+        print(render_sweep_table(sweep, "total_fps", title="total FPS"))
+        print()
+        print(render_sweep_table(sweep, "dmr", title="deadline miss rate"))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(sweep_to_csv(result.sweep()))
+        print(f"CSV written to {args.csv}")
+    if args.out:
+        from repro.analysis.persistence import save_grid
+
+        save_grid(result, args.out)
+        print(f"grid JSON written to {args.out}")
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def _nonnegative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {number}")
+    return number
+
+
+def _jitter_cv(value: str) -> float:
+    number = float(value)
+    if not 0.0 <= number < 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1), got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="sgprs",
         description="Regenerate the SGPRS paper's figures on the simulator.",
     )
-    parser.add_argument(
-        "figure",
-        choices=["fig1", "fig3", "fig4", "all"],
-        help="which figure to regenerate",
-    )
-    parser.add_argument(
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
         "--fast",
         action="store_true",
         help="smaller grid and shorter horizon for a quick look",
     )
-    parser.add_argument(
+    common.add_argument(
         "--csv",
         default=None,
         help="also write the sweep data to this CSV file",
+    )
+    commands = parser.add_subparsers(
+        dest="figure", required=True, metavar="command"
+    )
+    for name, help_text in (
+        ("fig1", "per-operation speedup table"),
+        ("fig3", "scenario 1 (2 contexts) sweep"),
+        ("fig4", "scenario 2 (3 contexts) sweep"),
+        ("all", "every figure"),
+    ):
+        commands.add_parser(name, parents=[common], help=help_text)
+    sweep = commands.add_parser(
+        "sweep",
+        parents=[common],
+        help="parallel sweep harness: sharded, cached, seed-replicated",
+    )
+    sweep.add_argument(
+        "--scenario",
+        type=int,
+        choices=(1, 2),
+        default=1,
+        help="context-pool scenario (1: two contexts, 2: three)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=0,
+        help="worker processes (0: serial in-process)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache; already-computed points are skipped",
+    )
+    sweep.add_argument(
+        "--seeds",
+        type=_positive_int,
+        default=1,
+        help="replication seeds per point (>1 reports mean±ci95)",
+    )
+    sweep.add_argument(
+        "--jitter-cv",
+        type=_jitter_cv,
+        default=0.0,
+        help="per-stage execution-time jitter CV (enables seed variation)",
+    )
+    sweep.add_argument(
+        "--out",
+        default=None,
+        help="write the full per-seed grid result to this JSON file",
     )
     return parser
 
@@ -113,6 +246,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _scenario(SCENARIO_1, "Fig. 3", args)
     if args.figure in ("fig4", "all"):
         _scenario(SCENARIO_2, "Fig. 4", args)
+    if args.figure == "sweep":
+        _sweep(args)
     return 0
 
 

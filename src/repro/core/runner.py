@@ -92,6 +92,22 @@ class RunResult:
             f"dmr={self.dmr * 100:.2f}% util={self.utilization * 100:.1f}%"
         )
 
+    def metrics_summary(self) -> Dict[str, float]:
+        """The slim scalar record the sweep harness ships across processes.
+
+        Deliberately excludes ``metrics`` and ``trace`` (megabytes on long
+        runs) and ``config`` (not JSON-serialisable); this is the whole
+        payload a sweep point contributes to figures and caches.
+        """
+        return {
+            "total_fps": self.total_fps,
+            "dmr": self.dmr,
+            "utilization": self.utilization,
+            "mean_pressure": self.mean_pressure,
+            "released": self.released,
+            "completed": self.completed,
+        }
+
 
 def run_simulation(task_set: TaskSet, config: RunConfig) -> RunResult:
     """Execute one run and return its steady-state metrics."""

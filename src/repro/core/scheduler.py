@@ -90,8 +90,12 @@ class SchedulerBase:
         Partition reconfiguration cost policy; defaults to the
         zero-configuration pool.
     trace:
-        Optional trace recorder (kinds ``job_release``, ``job_complete``,
-        ``job_shed``, ``stage_release``).
+        Optional trace recorder.  The scheduler emits kinds
+        ``job_release``, ``job_skip`` (a release dropped at the source
+        because the task's previous job was still in flight — see
+        :meth:`admit_job`), ``job_complete``, ``job_shed`` (aborted via
+        :meth:`abort_job`) and ``stage_release``; the device layer adds
+        ``kernel_start``, ``kernel_done`` and ``allocation``.
     horizon:
         Releases are only scheduled strictly before this simulated time.
     work_jitter_cv:

@@ -1,0 +1,51 @@
+"""Parallel experiment harness (sweep grids, sharded execution, caching).
+
+The paper's evaluation is a grid of independent simulation runs
+(scenario x scheduler variant x task count x seed).  This package turns
+that grid into a first-class object:
+
+* :mod:`repro.exp.grid` — :class:`GridSpec` / :class:`GridPoint`, the
+  declarative description of a sweep, with deterministic per-point seeds
+  and a stable configuration hash per point;
+* :mod:`repro.exp.worker` — the process-safe function that evaluates one
+  point (:func:`run_point`) and its slim, picklable result record;
+* :mod:`repro.exp.cache` — an on-disk JSON result cache keyed by the
+  point's configuration hash, so re-runs skip already-computed points;
+* :mod:`repro.exp.runner` — :func:`run_grid`, the sharded
+  ``multiprocessing`` sweep runner (``workers=0`` runs serially and
+  bit-identically to the parallel path);
+* :mod:`repro.exp.aggregate` — seed-replication statistics (mean and 95%
+  confidence intervals over >= 3 seeds).
+
+Figures 1/3/4 and the ablation all run on top of this harness; the CLI
+front-end is ``python -m repro sweep`` and the compatibility wrapper is
+:func:`repro.workloads.scenarios.run_scenario_sweep`.
+"""
+
+from repro.exp.aggregate import AggregatePoint, aggregate_results, to_sweep
+from repro.exp.cache import ResultCache
+from repro.exp.grid import (
+    GridPoint,
+    GridSpec,
+    derive_seed,
+    register_variant,
+    resolve_variant,
+)
+from repro.exp.runner import GridResult, run_grid
+from repro.exp.worker import PointResult, run_point
+
+__all__ = [
+    "AggregatePoint",
+    "GridPoint",
+    "GridResult",
+    "GridSpec",
+    "PointResult",
+    "ResultCache",
+    "aggregate_results",
+    "derive_seed",
+    "register_variant",
+    "resolve_variant",
+    "run_grid",
+    "run_point",
+    "to_sweep",
+]

@@ -1,0 +1,116 @@
+"""Seed-replication statistics for sweep results.
+
+A grid evaluated over >= 3 replication seeds yields, per (variant, task
+count) cell, a sample of each metric.  :func:`aggregate_results` reduces
+the sample to mean and a 95% Student-t confidence half-width — stdlib
+only, with the t quantiles tabulated for the small sample sizes sweeps
+actually use.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exp.worker import PointResult
+
+#: Two-sided 95% Student-t quantiles by degrees of freedom (1..30);
+#: larger samples fall back to the normal quantile.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+_Z_95 = 1.960
+
+
+def mean_ci(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and 95% confidence half-width (0.0 for n < 2)."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    mean = statistics.fmean(values)
+    n = len(values)
+    if n < 2:
+        return mean, 0.0
+    t = _T_95.get(n - 1, _Z_95)
+    return mean, t * statistics.stdev(values) / math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class AggregatePoint:
+    """Mean +/- 95% CI over seed replications of one sweep cell."""
+
+    variant: str
+    num_tasks: int
+    n: int
+    mean_fps: float
+    ci_fps: float
+    mean_dmr: float
+    ci_dmr: float
+    mean_utilization: float
+    ci_utilization: float
+
+
+def aggregate_results(
+    results: Sequence[PointResult],
+) -> Dict[str, List[AggregatePoint]]:
+    """Group results by (variant, task count) and reduce over seeds.
+
+    Points are grouped across *all* other coordinates being equal only in
+    seed; callers pass the results of one grid, where that holds by
+    construction.  Grid order is preserved: variants and task counts come
+    out in the order the points went in (matching the caller's
+    ``GridSpec``), not re-sorted.
+    """
+    cells: Dict[Tuple[str, int], List[PointResult]] = {}
+    for result in results:
+        key = (result.point.variant, result.point.num_tasks)
+        cells.setdefault(key, []).append(result)
+    out: Dict[str, List[AggregatePoint]] = {}
+    for (variant, num_tasks), sample in cells.items():
+        fps_mean, fps_ci = mean_ci([r.total_fps for r in sample])
+        dmr_mean, dmr_ci = mean_ci([r.dmr for r in sample])
+        util_mean, util_ci = mean_ci([r.utilization for r in sample])
+        out.setdefault(variant, []).append(
+            AggregatePoint(
+                variant=variant,
+                num_tasks=num_tasks,
+                n=len(sample),
+                mean_fps=fps_mean,
+                ci_fps=fps_ci,
+                mean_dmr=dmr_mean,
+                ci_dmr=dmr_ci,
+                mean_utilization=util_mean,
+                ci_utilization=util_ci,
+            )
+        )
+    return out
+
+
+def to_sweep(results: Sequence[PointResult]):
+    """Seed-mean sweep in the classic ``variant -> [SweepPoint]`` shape.
+
+    This is the bridge to the rendering/persistence layers, which predate
+    the grid harness.  With one seed per cell it is a lossless conversion.
+    """
+    # Imported here: workloads.scenarios imports repro.exp at module level.
+    from repro.workloads.scenarios import SweepPoint
+
+    out: Dict[str, List[SweepPoint]] = {}
+    for variant, aggregates in aggregate_results(results).items():
+        out[variant] = [
+            SweepPoint(
+                variant=variant,
+                num_tasks=agg.num_tasks,
+                total_fps=agg.mean_fps,
+                dmr=agg.mean_dmr,
+                utilization=agg.mean_utilization,
+            )
+            for agg in aggregates
+        ]
+    return out

@@ -1,0 +1,85 @@
+"""On-disk result cache for sweep points.
+
+One JSON file per evaluated :class:`~repro.exp.grid.GridPoint`, named by
+the point's configuration hash.  Sweeps consult the cache before running a
+point and store fresh results afterwards, so
+
+* re-running a sweep costs only the points that changed;
+* a grid can be grown (more seeds, more task counts) incrementally;
+* concurrent writers are safe: files are written atomically via a
+  same-directory temp file + ``os.replace``, and the worst case of a race
+  is recomputing one point.
+
+Corrupt or stale-schema entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exp.grid import GridPoint
+from repro.exp.worker import PointResult
+
+
+class ResultCache:
+    """Content-addressed store of :class:`PointResult` records."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, point: GridPoint) -> Path:
+        """The cache file a point maps to."""
+        return self.root / f"{point.config_hash()}.json"
+
+    def get(self, point: GridPoint) -> Optional[PointResult]:
+        """Return the cached result for ``point``, or ``None`` on a miss."""
+        path = self.path_for(point)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            result = PointResult.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        if result.point != point:  # hash collision or hand-edited file
+            self.misses += 1
+            return None
+        self.hits += 1
+        # elapsed measures compute cost; a cache load costs (almost) nothing
+        return dataclasses.replace(result, elapsed=0.0)
+
+    def put(self, result: PointResult) -> None:
+        """Store a result atomically under its point's hash."""
+        path = self.path_for(result.point)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete all cached entries; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

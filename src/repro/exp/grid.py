@@ -1,0 +1,223 @@
+"""Experiment-grid specification.
+
+A sweep is a cartesian grid: scenario (context-pool size) x scheduler
+variant x over-subscription (folded into the variant name) x task count x
+replication seed.  :class:`GridSpec` describes the grid declaratively;
+:meth:`GridSpec.points` enumerates concrete :class:`GridPoint` values, each
+of which is frozen, hashable, picklable, and carries everything a worker
+process needs to evaluate it.
+
+Determinism contract
+--------------------
+Each point's simulation seed is *derived* from the replication seed and the
+point's coordinates (:func:`derive_seed`), so
+
+* the same grid always produces the same per-point seeds regardless of
+  execution order or worker count (serial == parallel, bit for bit);
+* two points of the same replication do not share a jitter stream.
+
+The point's :meth:`GridPoint.config_hash` is the cache key: a SHA-256 over
+the canonical JSON of every field plus a schema version, so any change to a
+point's configuration lands in a fresh cache slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterator, Tuple, Type
+
+from repro.core.naive import NaiveScheduler
+from repro.core.scheduler import SchedulerBase
+from repro.core.sgprs import SgprsScheduler
+from repro.workloads.generator import DEFAULT_NUM_STAGES, DEFAULT_PERIOD
+
+#: Bumped whenever point evaluation semantics change, invalidating caches.
+SCHEMA_VERSION = 1
+
+#: A resolver maps a requested stage count to
+#: (scheduler class, over-subscription level, stages per task).
+VariantResolver = Callable[[int], Tuple[Type[SchedulerBase], float, int]]
+
+_VARIANT_REGISTRY: Dict[str, VariantResolver] = {}
+
+
+def register_variant(name: str, resolver: VariantResolver) -> None:
+    """Register a custom scheduler variant under ``name``.
+
+    Lets ablation studies sweep bespoke scheduler subclasses through the
+    grid harness.  Registration is per-process state: worker processes
+    inherit it on POSIX fork (the default on Linux), but a spawn-based
+    pool would not see variants registered after interpreter start —
+    register at module import time if that matters.
+    """
+    if name == "naive" or name.startswith("sgprs_"):
+        raise ValueError(f"{name!r} would shadow a built-in variant")
+    _VARIANT_REGISTRY[name] = resolver
+
+
+def derive_seed(base_seed: int, *coords: object) -> int:
+    """Deterministic per-point seed from a replication seed and coordinates.
+
+    Stable across processes and Python versions (unlike ``hash()``), and
+    well-mixed so neighbouring grid points get unrelated jitter streams.
+    """
+    blob = json.dumps([base_seed, *[str(c) for c in coords]]).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+def resolve_variant(
+    variant: str, num_stages: int = DEFAULT_NUM_STAGES
+) -> Tuple[Type[SchedulerBase], float, int]:
+    """Map a variant name to (scheduler class, over-subscription, stages).
+
+    ``variant`` is ``"naive"``, ``"sgprs_<os>"`` with ``<os>`` an
+    over-subscription level (e.g. ``"sgprs_1.5"``), or a name registered
+    via :func:`register_variant`.  The naive baseline always runs
+    monolithic (single-stage) jobs at 1.0x.
+    """
+    if variant in _VARIANT_REGISTRY:
+        return _VARIANT_REGISTRY[variant](num_stages)
+    if variant == "naive":
+        return NaiveScheduler, 1.0, 1
+    if variant.startswith("sgprs_"):
+        try:
+            oversubscription = float(variant.split("_", 1)[1])
+        except ValueError:
+            raise ValueError(f"unknown variant {variant!r}") from None
+        return SgprsScheduler, oversubscription, num_stages
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One fully-specified sweep measurement.
+
+    ``seed`` is the simulation seed actually passed to the run (derived);
+    ``base_seed`` records which replication the point belongs to.
+    """
+
+    scenario: str
+    num_contexts: int
+    variant: str
+    num_tasks: int
+    seed: int
+    base_seed: int = 0
+    duration: float = 6.0
+    warmup: float = 1.5
+    work_jitter_cv: float = 0.0
+    num_stages: int = DEFAULT_NUM_STAGES
+    period: float = DEFAULT_PERIOD
+    allow_stream_borrowing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError(f"num_tasks must be >= 1, got {self.num_tasks}")
+        if self.num_contexts < 1:
+            raise ValueError(
+                f"num_contexts must be >= 1, got {self.num_contexts}"
+            )
+        resolve_variant(self.variant)  # fail fast on unknown variants
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity, e.g. ``scenario1/sgprs_1.5/n25/s0``."""
+        return (
+            f"{self.scenario}/{self.variant}/n{self.num_tasks}"
+            f"/s{self.base_seed}"
+        )
+
+    def config_dict(self) -> dict:
+        """Canonical serialisable form (includes the schema version)."""
+        payload = asdict(self)
+        payload["schema_version"] = SCHEMA_VERSION
+        return payload
+
+    def config_hash(self) -> str:
+        """SHA-256 cache key over the canonical JSON of all fields."""
+        blob = json.dumps(self.config_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GridPoint":
+        """Inverse of :meth:`config_dict` (ignores the schema version)."""
+        fields = {k: v for k, v in payload.items() if k != "schema_version"}
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Declarative description of a sweep grid.
+
+    ``seeds`` are replication seeds; every (variant, task count) cell is
+    evaluated once per seed and aggregated over them.  With the default
+    single seed and zero jitter the grid reproduces the historical serial
+    sweep exactly.
+    """
+
+    scenario: str
+    num_contexts: int
+    variants: Tuple[str, ...]
+    task_counts: Tuple[int, ...]
+    seeds: Tuple[int, ...] = (0,)
+    duration: float = 6.0
+    warmup: float = 1.5
+    work_jitter_cv: float = 0.0
+    num_stages: int = DEFAULT_NUM_STAGES
+    period: float = DEFAULT_PERIOD
+    allow_stream_borrowing: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError("variants must be non-empty")
+        if not self.task_counts:
+            raise ValueError("task_counts must be non-empty")
+        if not self.seeds:
+            raise ValueError("seeds must be non-empty")
+        for variant in self.variants:
+            resolve_variant(variant)
+
+    @classmethod
+    def from_scenario(cls, scenario, **kwargs) -> "GridSpec":
+        """Build from a :class:`repro.workloads.scenarios.Scenario`."""
+        return cls(
+            scenario=scenario.name,
+            num_contexts=scenario.num_contexts,
+            **kwargs,
+        )
+
+    def __len__(self) -> int:
+        return len(self.variants) * len(self.task_counts) * len(self.seeds)
+
+    def points(self) -> Iterator[GridPoint]:
+        """Enumerate the grid in deterministic (variant, count, seed) order.
+
+        With jitter enabled each point gets a derived simulation seed; with
+        zero jitter the replication seed is passed through unchanged (the
+        RNG is never consulted, and unchanged seeds keep historical cache
+        keys and results stable).
+        """
+        for variant in self.variants:
+            for count in self.task_counts:
+                for base_seed in self.seeds:
+                    if self.work_jitter_cv > 0.0:
+                        seed = derive_seed(
+                            base_seed, self.scenario, variant, count
+                        )
+                    else:
+                        seed = base_seed
+                    yield GridPoint(
+                        scenario=self.scenario,
+                        num_contexts=self.num_contexts,
+                        variant=variant,
+                        num_tasks=count,
+                        seed=seed,
+                        base_seed=base_seed,
+                        duration=self.duration,
+                        warmup=self.warmup,
+                        work_jitter_cv=self.work_jitter_cv,
+                        num_stages=self.num_stages,
+                        period=self.period,
+                        allow_stream_borrowing=self.allow_stream_borrowing,
+                    )

@@ -1,0 +1,122 @@
+"""Sharded sweep execution over a grid.
+
+:func:`run_grid` is the one entry point: it enumerates a
+:class:`~repro.exp.grid.GridSpec`, satisfies what it can from the result
+cache, shards the remaining points over a ``multiprocessing`` pool, and
+returns a :class:`GridResult` in the grid's deterministic point order.
+
+Because every point is evaluated by the same pure function
+(:func:`repro.exp.worker.run_point`) with a seed derived from the point's
+own coordinates, the parallel path is bit-identical to the serial one —
+``workers`` only changes wall-clock time, never results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.exp.aggregate import AggregatePoint, aggregate_results, to_sweep
+from repro.exp.cache import ResultCache
+from repro.exp.grid import GridPoint, GridSpec
+from repro.exp.worker import PointResult, run_point
+
+ProgressFn = Callable[[PointResult], None]
+
+
+@dataclass
+class GridResult:
+    """All point results of one grid run, in grid order, plus provenance."""
+
+    spec: GridSpec
+    results: List[PointResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed: float = 0.0
+
+    def sweep(self):
+        """Seed-mean results as ``variant -> [SweepPoint]`` (see report.py)."""
+        return to_sweep(self.results)
+
+    def aggregate(self) -> Dict[str, List[AggregatePoint]]:
+        """Per-cell mean +/- 95% CI over the grid's replication seeds."""
+        return aggregate_results(self.results)
+
+    def by_point(self) -> Dict[GridPoint, PointResult]:
+        """Index the results by their grid point."""
+        return {result.point: result for result in self.results}
+
+
+def _effective_workers(workers: int, pending: int) -> int:
+    """Shards actually worth spawning (never more than pending points)."""
+    if workers <= 1 or pending <= 1:
+        return 0
+    return min(workers, pending)
+
+
+def run_grid(
+    spec: GridSpec,
+    workers: int = 0,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> GridResult:
+    """Evaluate every point of ``spec``, in parallel when asked to.
+
+    Parameters
+    ----------
+    workers:
+        0 or 1 runs in-process and serially; ``N > 1`` shards the
+        uncached points over ``N`` worker processes.  Results are
+        identical either way.
+    cache_dir:
+        Directory of the on-disk result cache; ``None`` disables caching.
+    progress:
+        Optional callback invoked with each :class:`PointResult` as it
+        becomes available (cache hits first, then computed points in
+        completion order).
+    """
+    started = time.perf_counter()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    points = list(spec.points())
+    computed: Dict[GridPoint, PointResult] = {}
+    pending: List[GridPoint] = []
+    for point in points:
+        hit = cache.get(point) if cache is not None else None
+        if hit is not None:
+            computed[point] = hit
+            if progress is not None:
+                progress(hit)
+        else:
+            pending.append(point)
+    hits = len(points) - len(pending)
+
+    effective = _effective_workers(workers, len(pending))
+    if effective == 0:
+        fresh = map(run_point, pending)
+    else:
+        pool = multiprocessing.Pool(processes=effective)
+        # chunksize 1: point costs vary by an order of magnitude across
+        # task counts, so fine-grained dispatch keeps the shards balanced
+        fresh = pool.imap_unordered(run_point, pending, chunksize=1)
+    try:
+        for result in fresh:
+            computed[result.point] = result
+            if cache is not None:
+                cache.put(result)
+            if progress is not None:
+                progress(result)
+    finally:
+        if effective > 0:
+            pool.close()
+            pool.join()
+
+    return GridResult(
+        spec=spec,
+        results=[computed[point] for point in points],
+        cache_hits=hits,
+        cache_misses=len(pending),
+        elapsed=time.perf_counter() - started,
+    )

@@ -1,0 +1,115 @@
+"""Per-point evaluation, safe to run in a worker process.
+
+:func:`run_point` is the single execution path behind every sweep: the
+serial runner, the ``multiprocessing`` pool workers and the compatibility
+wrappers in :mod:`repro.workloads.scenarios` all call it.  It returns a
+:class:`PointResult` — a slim, picklable record of the steady-state
+metrics, deliberately *not* carrying the :class:`MetricsCollector` or
+trace (those can be megabytes per run and would dominate IPC cost).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.runner import RunConfig, run_simulation
+from repro.exp.grid import GridPoint, resolve_variant
+from repro.gpu.spec import RTX_2080_TI
+from repro.workloads.generator import identical_periodic_tasks
+
+RESULT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Steady-state metrics of one evaluated grid point.
+
+    ``elapsed`` is the wall-clock cost of computing the point (0.0 when the
+    value came from the cache); it is provenance, not part of the result
+    identity.
+    """
+
+    point: GridPoint
+    total_fps: float
+    dmr: float
+    utilization: float
+    mean_pressure: float
+    released: int
+    completed: int
+    elapsed: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the on-disk cache)."""
+        return {
+            "version": RESULT_VERSION,
+            "point": self.point.config_dict(),
+            "total_fps": self.total_fps,
+            "dmr": self.dmr,
+            "utilization": self.utilization,
+            "mean_pressure": self.mean_pressure,
+            "released": self.released,
+            "completed": self.completed,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PointResult":
+        """Inverse of :meth:`to_dict`.
+
+        Raises
+        ------
+        ValueError
+            On a missing or unsupported result version.
+        """
+        if payload.get("version") != RESULT_VERSION:
+            raise ValueError(
+                f"unsupported result version: {payload.get('version')!r}"
+            )
+        return cls(
+            point=GridPoint.from_dict(payload["point"]),
+            total_fps=payload["total_fps"],
+            dmr=payload["dmr"],
+            utilization=payload["utilization"],
+            mean_pressure=payload["mean_pressure"],
+            released=payload["released"],
+            completed=payload["completed"],
+            elapsed=payload.get("elapsed", 0.0),
+        )
+
+
+def run_point(point: GridPoint) -> PointResult:
+    """Evaluate one grid point (process-safe, top-level, deterministic)."""
+    started = time.perf_counter()
+    scheduler, oversubscription, task_stages = resolve_variant(
+        point.variant, point.num_stages
+    )
+    pool = ContextPoolConfig.from_oversubscription(
+        point.num_contexts,
+        oversubscription,
+        RTX_2080_TI,
+        allow_stream_borrowing=point.allow_stream_borrowing,
+    )
+    tasks = identical_periodic_tasks(
+        count=point.num_tasks,
+        nominal_sms=pool.sms_per_context,
+        period=point.period,
+        num_stages=task_stages,
+    )
+    result = run_simulation(
+        tasks,
+        RunConfig(
+            pool=pool,
+            scheduler=scheduler,
+            duration=point.duration,
+            warmup=point.warmup,
+            work_jitter_cv=point.work_jitter_cv,
+            seed=point.seed,
+        ),
+    )
+    return PointResult(
+        point=point,
+        elapsed=time.perf_counter() - started,
+        **result.metrics_summary(),
+    )

@@ -12,6 +12,7 @@ from repro.workloads.scenarios import (
     Scenario,
     SweepPoint,
     run_scenario_sweep,
+    scenario_grid,
     sweep_point,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "OVERSUBSCRIPTION_LEVELS",
     "SweepPoint",
     "run_scenario_sweep",
+    "scenario_grid",
     "sweep_point",
 ]

@@ -5,18 +5,25 @@ Each scenario runs the naive baseline plus SGPRS at over-subscription
 levels 1.0x, 1.5x and 2.0x, sweeping the number of identical ResNet18
 tasks and reporting total FPS (Figs. 3a/4a) and deadline miss rate
 (Figs. 3b/4b).
+
+Execution is delegated to the parallel sweep harness in
+:mod:`repro.exp`: :func:`run_scenario_sweep` builds a
+:class:`~repro.exp.grid.GridSpec` and runs it with optional worker
+sharding, on-disk caching and seed replication; ``workers=0`` with a
+single seed reproduces the historical serial behaviour bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.context_pool import ContextPoolConfig
-from repro.core.naive import NaiveScheduler
 from repro.core.runner import RunConfig, RunResult, run_simulation
-from repro.core.scheduler import SchedulerBase
-from repro.core.sgprs import SgprsScheduler
+from repro.exp.grid import GridPoint, GridSpec, derive_seed, resolve_variant
+from repro.exp.runner import run_grid
+from repro.exp.worker import run_point
 from repro.gpu.spec import RTX_2080_TI, GpuDeviceSpec
 from repro.workloads.generator import (
     DEFAULT_NUM_STAGES,
@@ -70,23 +77,54 @@ def sweep_point(
     spec: GpuDeviceSpec = RTX_2080_TI,
     num_stages: int = DEFAULT_NUM_STAGES,
     period: float = DEFAULT_PERIOD,
+    seed: int = 0,
+    work_jitter_cv: float = 0.0,
 ) -> SweepPoint:
     """Run one point of a scenario sweep.
 
     ``variant`` is ``"naive"`` or ``"sgprs_<os>"`` with ``<os>`` one of the
-    over-subscription levels, e.g. ``"sgprs_1.5"``.
+    over-subscription levels, e.g. ``"sgprs_1.5"``.  On the default device
+    this routes through :func:`repro.exp.worker.run_point` — the same code
+    path the parallel harness shards over processes, with the same
+    per-point seed derivation, so a standalone point is bit-identical to
+    the corresponding cell of a grid run with the same replication seed.
     """
-    scheduler: Type[SchedulerBase]
-    if variant == "naive":
-        scheduler = NaiveScheduler
-        oversubscription = 1.0
-        task_stages = 1  # the naive baseline does not divide tasks
-    elif variant.startswith("sgprs_"):
-        scheduler = SgprsScheduler
-        oversubscription = float(variant.split("_", 1)[1])
-        task_stages = num_stages
-    else:
-        raise ValueError(f"unknown variant {variant!r}")
+    if spec == RTX_2080_TI:
+        # mirror GridSpec.points(): with jitter the simulation seed is
+        # derived from the point's coordinates so distinct points never
+        # share a jitter stream; without jitter the RNG is never used
+        run_seed = (
+            derive_seed(seed, scenario.name, variant, num_tasks)
+            if work_jitter_cv > 0.0
+            else seed
+        )
+        result = run_point(
+            GridPoint(
+                scenario=scenario.name,
+                num_contexts=scenario.num_contexts,
+                variant=variant,
+                num_tasks=num_tasks,
+                seed=run_seed,
+                base_seed=seed,
+                duration=duration,
+                warmup=warmup,
+                work_jitter_cv=work_jitter_cv,
+                num_stages=num_stages,
+                period=period,
+            )
+        )
+        return SweepPoint(
+            variant=variant,
+            num_tasks=num_tasks,
+            total_fps=result.total_fps,
+            dmr=result.dmr,
+            utilization=result.utilization,
+        )
+    # Non-default device specs fall back to a direct run (the grid harness
+    # is pinned to the paper's RTX 2080 Ti).
+    scheduler, oversubscription, task_stages = resolve_variant(
+        variant, num_stages
+    )
     pool = scenario.pool(oversubscription, spec)
     tasks = identical_periodic_tasks(
         count=num_tasks,
@@ -96,7 +134,15 @@ def sweep_point(
     )
     result: RunResult = run_simulation(
         tasks,
-        RunConfig(pool=pool, scheduler=scheduler, duration=duration, warmup=warmup),
+        RunConfig(
+            pool=pool,
+            scheduler=scheduler,
+            duration=duration,
+            warmup=warmup,
+            spec=spec,
+            work_jitter_cv=work_jitter_cv,
+            seed=seed,
+        ),
     )
     return SweepPoint(
         variant=variant,
@@ -112,22 +158,55 @@ def default_variants() -> List[str]:
     return ["naive"] + [f"sgprs_{os:g}" for os in OVERSUBSCRIPTION_LEVELS]
 
 
+def scenario_grid(
+    scenario: Scenario,
+    task_counts: Sequence[int],
+    variants: Optional[Sequence[str]] = None,
+    duration: float = 6.0,
+    warmup: float = 1.5,
+    seeds: Sequence[int] = (0,),
+    work_jitter_cv: float = 0.0,
+    num_stages: int = DEFAULT_NUM_STAGES,
+) -> GridSpec:
+    """The :class:`GridSpec` behind one scenario sweep."""
+    return GridSpec.from_scenario(
+        scenario,
+        variants=tuple(variants) if variants is not None else tuple(default_variants()),
+        task_counts=tuple(task_counts),
+        seeds=tuple(seeds),
+        duration=duration,
+        warmup=warmup,
+        work_jitter_cv=work_jitter_cv,
+        num_stages=num_stages,
+    )
+
+
 def run_scenario_sweep(
     scenario: Scenario,
     task_counts: Sequence[int],
     variants: Optional[Sequence[str]] = None,
     duration: float = 6.0,
     warmup: float = 1.5,
+    workers: int = 0,
+    cache_dir: Optional[Union[str, Path]] = None,
+    seeds: Sequence[int] = (0,),
+    work_jitter_cv: float = 0.0,
 ) -> Dict[str, List[SweepPoint]]:
     """Full sweep of one scenario: variant -> points ordered by task count.
 
-    Regenerates the data behind Figs. 3 and 4 (scenario 1 and 2).
+    Regenerates the data behind Figs. 3 and 4 (scenario 1 and 2) through
+    the parallel harness.  ``workers`` shards points over processes,
+    ``cache_dir`` enables the on-disk result cache, and ``seeds`` runs each
+    cell once per replication seed (the returned points are seed means).
+    Defaults reproduce the historical serial single-seed sweep exactly.
     """
-    variants = list(variants) if variants is not None else default_variants()
-    results: Dict[str, List[SweepPoint]] = {variant: [] for variant in variants}
-    for variant in variants:
-        for count in task_counts:
-            results[variant].append(
-                sweep_point(scenario, variant, count, duration, warmup)
-            )
-    return results
+    grid = scenario_grid(
+        scenario,
+        task_counts,
+        variants,
+        duration,
+        warmup,
+        seeds=seeds,
+        work_jitter_cv=work_jitter_cv,
+    )
+    return run_grid(grid, workers=workers, cache_dir=cache_dir).sweep()

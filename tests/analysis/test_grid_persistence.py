@@ -1,0 +1,72 @@
+"""Grid-document persistence and aggregate-table rendering."""
+
+import pytest
+
+from repro.analysis.persistence import (
+    grid_from_dict,
+    grid_to_dict,
+    load_grid,
+    save_grid,
+)
+from repro.analysis.report import render_aggregate_table
+from repro.exp.grid import GridSpec
+from repro.exp.runner import run_grid
+
+SPEC = GridSpec(
+    scenario="scenario1",
+    num_contexts=2,
+    variants=("naive", "sgprs_1.5"),
+    task_counts=(2, 3),
+    seeds=(0, 1),
+    duration=0.6,
+    warmup=0.2,
+    work_jitter_cv=0.15,
+)
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    return run_grid(SPEC)
+
+
+class TestGridPersistence:
+    def test_dict_roundtrip(self, grid_result):
+        loaded = grid_from_dict(grid_to_dict(grid_result))
+        assert loaded.spec == grid_result.spec
+        assert loaded.results == grid_result.results
+
+    def test_file_roundtrip(self, grid_result, tmp_path):
+        path = tmp_path / "grid.json"
+        save_grid(grid_result, path)
+        loaded = load_grid(path)
+        assert loaded.spec == SPEC
+        assert [r.point for r in loaded.results] == [
+            r.point for r in grid_result.results
+        ]
+        assert loaded.aggregate().keys() == grid_result.aggregate().keys()
+
+    def test_version_guard(self, grid_result):
+        payload = grid_to_dict(grid_result)
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            grid_from_dict(payload)
+
+
+class TestAggregateTable:
+    def test_renders_mean_and_ci(self, grid_result):
+        table = render_aggregate_table(grid_result.aggregate(), "total_fps")
+        assert "naive" in table and "sgprs_1.5" in table
+        assert "±" in table
+        # one row per task count plus header/rule
+        assert len(table.splitlines()) == 2 + len(SPEC.task_counts)
+
+    def test_dmr_metric_and_title(self, grid_result):
+        table = render_aggregate_table(
+            grid_result.aggregate(), "dmr", title="hello"
+        )
+        assert table.startswith("hello\n")
+        assert "%" in table
+
+    def test_unknown_metric_rejected(self, grid_result):
+        with pytest.raises(ValueError):
+            render_aggregate_table(grid_result.aggregate(), "latency")

@@ -1,0 +1,163 @@
+"""Property/invariant tests for :class:`SchedulerBase`.
+
+Three contracts the whole evaluation silently relies on:
+
+* **Job conservation** — every released job is accounted for: it either
+  completed, was skipped at the source (``job_skip``), was shed
+  (``job_shed``), or is still in flight at the horizon (at most one per
+  task under the default blocking-client admission).
+* **Trace monotonicity** — a run's trace is ordered by engine time and
+  stays within the simulated horizon.
+* **Seed determinism** — for a fixed seed the jittered simulation is a
+  pure function: two runs produce bit-identical metrics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.runner import RunConfig, run_simulation
+from repro.gpu.spec import RTX_2080_TI
+from repro.workloads.generator import identical_periodic_tasks
+
+
+def run_traced(
+    num_tasks,
+    num_contexts=1,
+    oversubscription=1.0,
+    duration=1.0,
+    work_jitter_cv=0.0,
+    seed=0,
+):
+    pool = ContextPoolConfig.from_oversubscription(
+        num_contexts, oversubscription, RTX_2080_TI
+    )
+    tasks = identical_periodic_tasks(
+        num_tasks, nominal_sms=pool.sms_per_context
+    )
+    return run_simulation(
+        tasks,
+        RunConfig(
+            pool=pool,
+            duration=duration,
+            warmup=0.2,
+            record_trace=True,
+            work_jitter_cv=work_jitter_cv,
+            seed=seed,
+        ),
+    )
+
+
+class TestJobConservation:
+    @given(
+        num_tasks=st.integers(min_value=1, max_value=32),
+        seed=st.integers(min_value=0, max_value=2**31),
+        jitter=st.sampled_from([0.0, 0.1, 0.3]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_released_jobs_are_all_accounted_for(
+        self, num_tasks, seed, jitter
+    ):
+        result = run_traced(
+            num_tasks, work_jitter_cv=jitter, seed=seed, duration=0.8
+        )
+        trace = result.trace
+        kinds = trace.kinds()
+        released = kinds.get("job_release", 0)
+        completed = kinds.get("job_complete", 0)
+        skipped = kinds.get("job_skip", 0)
+        shed = kinds.get("job_shed", 0)
+        in_flight = released - completed - skipped - shed
+        # under blocking admission at most one job per task is in flight
+        assert 0 <= in_flight <= num_tasks
+        # the metrics collector agrees with the trace
+        assert result.released == released
+        assert result.completed == completed
+
+    @given(
+        num_tasks=st.integers(min_value=1, max_value=32),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_per_task_conservation(self, num_tasks, seed):
+        result = run_traced(num_tasks, seed=seed, duration=0.8)
+        trace = result.trace
+        for task_index in range(num_tasks):
+            name = f"cam{task_index}"
+            by_task = trace.where(lambda r, n=name: r.get("task") == n)
+            released = sum(1 for r in by_task if r.kind == "job_release")
+            finished = sum(
+                1
+                for r in by_task
+                if r.kind in ("job_complete", "job_skip", "job_shed")
+            )
+            # at most one job of each task may still be in flight
+            assert finished <= released <= finished + 1, name
+
+    def test_unfinished_released_jobs_count_as_misses(self):
+        # deep overload: skipped jobs must surface as deadline misses
+        result = run_traced(30, duration=1.0)
+        skips = result.trace.kinds().get("job_skip", 0)
+        assert skips > 0
+        assert result.dmr > 0.0
+
+
+class TestTraceMonotonicity:
+    @given(
+        num_tasks=st.integers(min_value=1, max_value=24),
+        jitter=st.sampled_from([0.0, 0.2]),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_trace_times_nondecreasing(self, num_tasks, jitter, seed):
+        duration = 0.8
+        result = run_traced(
+            num_tasks, work_jitter_cv=jitter, seed=seed, duration=duration
+        )
+        times = [record.time for record in result.trace]
+        assert times, "a run must emit trace records"
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert times[0] >= 0.0
+        # kernels in flight at the horizon may finish (slightly) past it,
+        # but releases never happen at or beyond the horizon
+        release_times = [
+            r.time for r in result.trace.of_kind("job_release")
+        ]
+        assert all(t < duration for t in release_times)
+
+
+class TestSeedDeterminism:
+    def metrics_tuple(self, result):
+        return (
+            result.total_fps,
+            result.dmr,
+            result.utilization,
+            result.mean_pressure,
+            result.released,
+            result.completed,
+            tuple(sorted(result.per_task_fps.items())),
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=3, deadline=None)
+    def test_fixed_seed_is_bit_identical(self, seed):
+        first = run_traced(
+            6, work_jitter_cv=0.25, seed=seed, duration=0.8
+        )
+        second = run_traced(
+            6, work_jitter_cv=0.25, seed=seed, duration=0.8
+        )
+        assert self.metrics_tuple(first) == self.metrics_tuple(second)
+        # the traces agree event for event, not just in aggregate
+        assert [(r.time, r.kind) for r in first.trace] == [
+            (r.time, r.kind) for r in second.trace
+        ]
+
+    def test_different_seeds_perturb_the_jittered_run(self):
+        runs = {
+            self.metrics_tuple(
+                run_traced(6, work_jitter_cv=0.25, seed=seed, duration=0.8)
+            )
+            for seed in range(4)
+        }
+        assert len(runs) > 1, "jitter seeds should change the trajectory"

@@ -1,0 +1,169 @@
+"""Unit tests for the experiment-grid specification."""
+
+import pytest
+
+from repro.core.naive import NaiveScheduler
+from repro.core.sgprs import SgprsScheduler
+from repro.exp.grid import (
+    GridPoint,
+    GridSpec,
+    derive_seed,
+    register_variant,
+    resolve_variant,
+)
+
+
+def small_spec(**overrides):
+    fields = dict(
+        scenario="scenario1",
+        num_contexts=2,
+        variants=("naive", "sgprs_1.5"),
+        task_counts=(2, 4),
+        seeds=(0, 1),
+        duration=1.0,
+        warmup=0.2,
+    )
+    fields.update(overrides)
+    return GridSpec(**fields)
+
+
+class TestResolveVariant:
+    def test_naive_is_monolithic(self):
+        scheduler, oversub, stages = resolve_variant("naive", num_stages=6)
+        assert scheduler is NaiveScheduler
+        assert oversub == 1.0
+        assert stages == 1
+
+    def test_sgprs_parses_oversubscription(self):
+        scheduler, oversub, stages = resolve_variant("sgprs_1.5", num_stages=6)
+        assert scheduler is SgprsScheduler
+        assert oversub == 1.5
+        assert stages == 6
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_variant("mystery")
+        with pytest.raises(ValueError):
+            resolve_variant("sgprs_abc")
+
+    def test_registered_variant_resolves(self):
+        class Custom(SgprsScheduler):
+            name = "custom"
+
+        register_variant("grid_test_custom", lambda s: (Custom, 2.0, s))
+        scheduler, oversub, stages = resolve_variant(
+            "grid_test_custom", num_stages=4
+        )
+        assert scheduler is Custom
+        assert oversub == 2.0
+        assert stages == 4
+
+    def test_registration_cannot_shadow_builtins(self):
+        with pytest.raises(ValueError):
+            register_variant("naive", lambda s: (NaiveScheduler, 1.0, 1))
+        with pytest.raises(ValueError):
+            register_variant("sgprs_9", lambda s: (SgprsScheduler, 9.0, s))
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "a", 1) == derive_seed(0, "a", 1)
+
+    def test_sensitive_to_every_coordinate(self):
+        base = derive_seed(0, "scenario1", "naive", 4)
+        assert derive_seed(1, "scenario1", "naive", 4) != base
+        assert derive_seed(0, "scenario2", "naive", 4) != base
+        assert derive_seed(0, "scenario1", "sgprs_1", 4) != base
+        assert derive_seed(0, "scenario1", "naive", 8) != base
+
+
+class TestGridPoint:
+    def point(self, **overrides):
+        fields = dict(
+            scenario="scenario1",
+            num_contexts=2,
+            variant="sgprs_1.5",
+            num_tasks=4,
+            seed=7,
+        )
+        fields.update(overrides)
+        return GridPoint(**fields)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.point(num_tasks=0)
+        with pytest.raises(ValueError):
+            self.point(num_contexts=0)
+        with pytest.raises(ValueError):
+            self.point(variant="mystery")
+
+    def test_hash_is_stable_and_sensitive(self):
+        assert self.point().config_hash() == self.point().config_hash()
+        assert (
+            self.point(num_tasks=5).config_hash()
+            != self.point().config_hash()
+        )
+        assert self.point(seed=8).config_hash() != self.point().config_hash()
+        assert (
+            self.point(allow_stream_borrowing=False).config_hash()
+            != self.point().config_hash()
+        )
+
+    def test_dict_roundtrip(self):
+        point = self.point(work_jitter_cv=0.1, base_seed=3)
+        assert GridPoint.from_dict(point.config_dict()) == point
+
+    def test_label(self):
+        assert self.point(base_seed=3).label == "scenario1/sgprs_1.5/n4/s3"
+
+
+class TestGridSpec:
+    def test_len_and_order(self):
+        spec = small_spec()
+        points = list(spec.points())
+        assert len(points) == len(spec) == 2 * 2 * 2
+        # deterministic (variant, count, seed) order
+        coords = [(p.variant, p.num_tasks, p.base_seed) for p in points]
+        assert coords == [
+            ("naive", 2, 0),
+            ("naive", 2, 1),
+            ("naive", 4, 0),
+            ("naive", 4, 1),
+            ("sgprs_1.5", 2, 0),
+            ("sgprs_1.5", 2, 1),
+            ("sgprs_1.5", 4, 0),
+            ("sgprs_1.5", 4, 1),
+        ]
+        assert list(spec.points()) == points
+
+    def test_zero_jitter_passes_seed_through(self):
+        for point in small_spec().points():
+            assert point.seed == point.base_seed
+
+    def test_jitter_derives_per_point_seeds(self):
+        points = list(small_spec(work_jitter_cv=0.1).points())
+        seeds = {p.seed for p in points}
+        assert len(seeds) == len(points), "every point gets its own stream"
+        for point in points:
+            assert point.seed == derive_seed(
+                point.base_seed, "scenario1", point.variant, point.num_tasks
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_spec(variants=())
+        with pytest.raises(ValueError):
+            small_spec(task_counts=())
+        with pytest.raises(ValueError):
+            small_spec(seeds=())
+        with pytest.raises(ValueError):
+            small_spec(variants=("mystery",))
+
+    def test_from_scenario(self):
+        from repro.workloads.scenarios import SCENARIO_2
+
+        spec = GridSpec.from_scenario(
+            SCENARIO_2, variants=("naive",), task_counts=(2,)
+        )
+        assert spec.scenario == "scenario2"
+        assert spec.num_contexts == 3

@@ -1,0 +1,203 @@
+"""Tests for the sharded grid runner and seed aggregation.
+
+The fast tier proves correctness (serial == parallel == cached, CI math);
+the slow tier measures the wall-clock acceptance criteria on a real
+fig-3-sized grid.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.exp.aggregate import aggregate_results, mean_ci, to_sweep
+from repro.exp.grid import GridSpec
+from repro.exp.runner import run_grid
+from repro.exp.worker import run_point
+
+TINY = GridSpec(
+    scenario="scenario1",
+    num_contexts=2,
+    variants=("naive", "sgprs_1.5"),
+    task_counts=(2, 4),
+    duration=0.6,
+    warmup=0.2,
+)
+
+
+def metric_rows(result):
+    return [
+        (r.point.label, r.total_fps, r.dmr, r.utilization)
+        for r in result.results
+    ]
+
+
+class TestRunGrid:
+    def test_serial_matches_grid_order(self):
+        result = run_grid(TINY)
+        assert [r.point for r in result.results] == list(TINY.points())
+        assert result.cache_hits == 0
+        assert result.cache_misses == len(TINY)
+
+    def test_parallel_is_bit_identical_to_serial(self):
+        serial = run_grid(TINY, workers=0)
+        parallel = run_grid(TINY, workers=2)
+        assert metric_rows(serial) == metric_rows(parallel)
+
+    def test_cache_second_run_is_all_hits(self, tmp_path):
+        first = run_grid(TINY, cache_dir=tmp_path)
+        second = run_grid(TINY, cache_dir=tmp_path)
+        assert second.cache_hits == len(TINY)
+        assert second.cache_misses == 0
+        assert metric_rows(first) == metric_rows(second)
+
+    def test_cache_is_config_sensitive(self, tmp_path):
+        import dataclasses
+
+        run_grid(TINY, cache_dir=tmp_path)
+        longer = dataclasses.replace(TINY, duration=0.8)
+        result = run_grid(longer, cache_dir=tmp_path)
+        assert result.cache_hits == 0
+
+    def test_progress_callback_sees_every_point(self, tmp_path):
+        seen = []
+        run_grid(TINY, cache_dir=tmp_path, progress=seen.append)
+        assert len(seen) == len(TINY)
+        run_grid(TINY, cache_dir=tmp_path, progress=seen.append)
+        assert len(seen) == 2 * len(TINY)
+
+    def test_sweep_shape(self):
+        sweep = run_grid(TINY).sweep()
+        assert set(sweep) == {"naive", "sgprs_1.5"}
+        assert [p.num_tasks for p in sweep["naive"]] == [2, 4]
+
+    def test_sweep_preserves_grid_order(self):
+        # caller-supplied variant and task-count order survives
+        # aggregation (render_sweep_table columns follow dict order)
+        import dataclasses
+
+        spec = dataclasses.replace(
+            TINY, variants=("sgprs_1.5", "naive"), task_counts=(4, 2)
+        )
+        sweep = run_grid(spec).sweep()
+        assert list(sweep) == ["sgprs_1.5", "naive"]
+        assert [p.num_tasks for p in sweep["naive"]] == [4, 2]
+
+    def test_worker_point_matches_inline_run(self):
+        point = next(TINY.points())
+        assert run_point(point).total_fps == run_point(point).total_fps
+
+    def test_sweep_point_matches_grid_cell_under_jitter(self):
+        # the standalone entry point derives the same per-point seed as
+        # the grid, so both produce bit-identical metrics
+        from repro.workloads.scenarios import SCENARIO_1, run_scenario_sweep, sweep_point
+
+        standalone = sweep_point(
+            SCENARIO_1,
+            "sgprs_1.5",
+            3,
+            duration=0.6,
+            warmup=0.2,
+            seed=5,
+            work_jitter_cv=0.2,
+        )
+        (cell,) = run_scenario_sweep(
+            SCENARIO_1,
+            [3],
+            variants=["sgprs_1.5"],
+            duration=0.6,
+            warmup=0.2,
+            seeds=(5,),
+            work_jitter_cv=0.2,
+        )["sgprs_1.5"]
+        assert standalone.total_fps == cell.total_fps
+        assert standalone.dmr == cell.dmr
+        assert standalone.utilization == cell.utilization
+
+
+class TestMeanCi:
+    def test_single_value_has_zero_ci(self):
+        assert mean_ci([5.0]) == (5.0, 0.0)
+
+    def test_known_sample(self):
+        mean, ci = mean_ci([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        # t(df=2, 95%) = 4.303, stdev = 1.0, n = 3
+        assert ci == pytest.approx(4.303 / math.sqrt(3), rel=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        spec = GridSpec(
+            scenario="scenario1",
+            num_contexts=2,
+            variants=("sgprs_1.5",),
+            task_counts=(3,),
+            seeds=(0, 1, 2),
+            duration=0.6,
+            warmup=0.2,
+            work_jitter_cv=0.2,
+        )
+        return run_grid(spec)
+
+    def test_cells_group_over_seeds(self, replicated):
+        aggregates = aggregate_results(replicated.results)
+        assert set(aggregates) == {"sgprs_1.5"}
+        (cell,) = aggregates["sgprs_1.5"]
+        assert cell.n == 3
+        assert cell.ci_fps >= 0.0
+
+    def test_mean_matches_manual(self, replicated):
+        (cell,) = aggregate_results(replicated.results)["sgprs_1.5"]
+        manual = sum(r.total_fps for r in replicated.results) / 3
+        assert cell.mean_fps == pytest.approx(manual)
+
+    def test_to_sweep_uses_means(self, replicated):
+        sweep = to_sweep(replicated.results)
+        (cell,) = aggregate_results(replicated.results)["sgprs_1.5"]
+        assert sweep["sgprs_1.5"][0].total_fps == pytest.approx(
+            cell.mean_fps
+        )
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    """ISSUE 1 acceptance: speedup and cache pay-off on a fig-3 grid."""
+
+    GRID = GridSpec(
+        scenario="scenario1",
+        num_contexts=2,
+        variants=("naive", "sgprs_1", "sgprs_1.5", "sgprs_2"),
+        task_counts=(8, 14, 16, 20, 23, 25, 28, 30),
+        duration=3.0,
+        warmup=1.0,
+    )
+
+    def test_parallel_identical_and_cache_fast(self, tmp_path):
+        import time
+
+        serial = run_grid(self.GRID)
+        parallel = run_grid(self.GRID, workers=4, cache_dir=tmp_path)
+        assert metric_rows(serial) == metric_rows(parallel)
+        started = time.perf_counter()
+        cached = run_grid(self.GRID, workers=4, cache_dir=tmp_path)
+        cached_elapsed = time.perf_counter() - started
+        assert cached.cache_hits == len(self.GRID)
+        assert metric_rows(cached) == metric_rows(serial)
+        # a cached invocation costs under 10% of the computing run
+        assert cached_elapsed < 0.1 * parallel.elapsed
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="wall-clock speedup needs >= 4 physical cores",
+    )
+    def test_four_workers_give_3x(self, tmp_path):
+        serial = run_grid(self.GRID)
+        parallel = run_grid(self.GRID, workers=4)
+        assert metric_rows(serial) == metric_rows(parallel)
+        assert serial.elapsed / parallel.elapsed >= 3.0

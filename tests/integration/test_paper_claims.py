@@ -4,9 +4,14 @@ These run the full stack (workload -> offline phase -> scheduler -> GPU
 simulator -> metrics) and assert the *shape* results Section V reports.
 Durations are kept short; the benchmark harness under ``benchmarks/`` runs
 the full-fidelity versions.
+
+Marked ``slow``: together these sweeps take the better part of a minute,
+so they ride in the opt-in tier (``--runslow``) with the benchmarks.
 """
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.core.context_pool import ContextPoolConfig
 from repro.core.naive import NaiveScheduler

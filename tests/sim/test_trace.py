@@ -2,6 +2,20 @@
 
 from repro.sim.trace import TraceRecord, TraceRecorder
 
+#: Every trace kind the simulation stack may emit: the scheduler's five
+#: (documented on :class:`repro.core.scheduler.SchedulerBase`) plus the
+#: device layer's three.
+DOCUMENTED_KINDS = {
+    "job_release",
+    "job_skip",
+    "job_complete",
+    "job_shed",
+    "stage_release",
+    "kernel_start",
+    "kernel_done",
+    "allocation",
+}
+
 
 class TestRecording:
     def test_record_and_len(self):
@@ -78,3 +92,62 @@ class TestTraceRecord:
         record = TraceRecord(1.0, "kind", {"a": 1})
         assert record.get("a") == 1
         assert record.get("b", "fallback") == "fallback"
+
+
+class TestEmittedKinds:
+    """The kinds a real run emits match the documented contract.
+
+    Guards the :class:`SchedulerBase` docstring against silently growing
+    or renaming trace kinds (it once omitted ``job_skip``).
+    """
+
+    _trace_cache = {}
+
+    def run_traced(self, num_tasks, num_contexts=1):
+        # one simulation per parameter set, shared across the test class
+        key = (num_tasks, num_contexts)
+        if key in self._trace_cache:
+            return self._trace_cache[key]
+        from repro.core.context_pool import ContextPoolConfig
+        from repro.core.runner import RunConfig, run_simulation
+        from repro.gpu.spec import RTX_2080_TI
+        from repro.workloads.generator import identical_periodic_tasks
+
+        pool = ContextPoolConfig.from_oversubscription(
+            num_contexts, 1.0, RTX_2080_TI
+        )
+        tasks = identical_periodic_tasks(
+            num_tasks, nominal_sms=pool.sms_per_context
+        )
+        result = run_simulation(
+            tasks,
+            RunConfig(
+                pool=pool, duration=1.0, warmup=0.2, record_trace=True
+            ),
+        )
+        self._trace_cache[key] = result.trace
+        return result.trace
+
+    def test_all_emitted_kinds_are_documented(self):
+        # one heavily overloaded single context: releases, stages,
+        # completions and source-dropped (skipped) jobs all occur
+        trace = self.run_traced(num_tasks=30)
+        emitted = set(trace.kinds())
+        assert emitted <= DOCUMENTED_KINDS, emitted - DOCUMENTED_KINDS
+
+    def test_overload_emits_job_skip(self):
+        trace = self.run_traced(num_tasks=30)
+        assert trace.of_kind("job_skip"), "overload should drop releases"
+
+    def test_docstring_documents_every_scheduler_kind(self):
+        from repro.core.scheduler import SchedulerBase
+
+        doc = SchedulerBase.__doc__
+        for kind in (
+            "job_release",
+            "job_skip",
+            "job_complete",
+            "job_shed",
+            "stage_release",
+        ):
+            assert kind in doc, f"SchedulerBase docstring omits {kind!r}"
