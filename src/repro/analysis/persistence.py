@@ -27,7 +27,15 @@ from repro.exp.worker import PointResult
 from repro.workloads.scenarios import SweepPoint
 
 FORMAT_VERSION = 1
-GRID_FORMAT_VERSION = 1
+#: v2: the serialized GridSpec/GridPoint carry the synthesis axes
+#: (workload/utilizations/period_class/zoo_mix/deadline_mode); a v1
+#: reader would choke on the new spec fields, so the bump turns that into
+#: a clean "unsupported version" error there.
+GRID_FORMAT_VERSION = 2
+
+#: Versions this reader can load: v1 documents lack the synthesis-axis
+#: fields, which all default.
+_READABLE_GRID_VERSIONS = (1, GRID_FORMAT_VERSION)
 
 
 def sweep_to_dict(sweep: Dict[str, List[SweepPoint]]) -> dict:
@@ -41,6 +49,7 @@ def sweep_to_dict(sweep: Dict[str, List[SweepPoint]]) -> dict:
                     "total_fps": p.total_fps,
                     "dmr": p.dmr,
                     "utilization": p.utilization,
+                    "target_utilization": p.target_utilization,
                 }
                 for p in points
             ]
@@ -69,6 +78,8 @@ def sweep_from_dict(payload: dict) -> Dict[str, List[SweepPoint]]:
                 total_fps=row["total_fps"],
                 dmr=row["dmr"],
                 utilization=row["utilization"],
+                # absent in pre-synth documents
+                target_utilization=row.get("target_utilization", 0.0),
             )
             for row in rows
         ]
@@ -107,11 +118,12 @@ def grid_from_dict(payload: dict) -> GridResult:
         On a missing or unsupported format version.
     """
     version = payload.get("version")
-    if version != GRID_FORMAT_VERSION:
+    if version not in _READABLE_GRID_VERSIONS:
         raise ValueError(f"unsupported grid format version: {version!r}")
     spec_fields = dict(payload["spec"])
-    for key in ("variants", "task_counts", "seeds"):
-        spec_fields[key] = tuple(spec_fields[key])
+    for key in ("variants", "task_counts", "seeds", "utilizations"):
+        if key in spec_fields:
+            spec_fields[key] = tuple(spec_fields[key])
     return GridResult(
         spec=GridSpec(**spec_fields),
         results=[PointResult.from_dict(row) for row in payload["points"]],

@@ -9,7 +9,7 @@ matching the paper's definition).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.workloads.scenarios import SweepPoint
 
@@ -45,4 +45,58 @@ def pivot_table(
     return {
         variant: find_pivot(points, dmr_tolerance)
         for variant, points in sweep.items()
+    }
+
+
+def find_utilization_pivot(
+    pairs: Sequence[Tuple[float, float]], dmr_tolerance: float = 0.0
+) -> Optional[float]:
+    """Largest target utilization whose DMR stays within tolerance.
+
+    The utilization-axis analogue of :func:`find_pivot` for synthesized
+    workloads: ``pairs`` are ``(target utilization, dmr)`` samples of one
+    variant.  The scan walks utilizations in increasing order and stops at
+    the first miss, so a spurious zero-DMR point beyond an overloaded
+    region does not extend the pivot.  Returns ``None`` when even the
+    lowest measured utilization misses deadlines.
+    """
+    if dmr_tolerance < 0:
+        raise ValueError(f"dmr_tolerance must be >= 0, got {dmr_tolerance}")
+    pivot: Optional[float] = None
+    for utilization, dmr in sorted(pairs):
+        if dmr <= dmr_tolerance:
+            pivot = utilization
+        else:
+            break
+    return pivot
+
+
+def utilization_pivot_table(
+    results, dmr_tolerance: float = 0.0
+) -> Dict[str, Optional[float]]:
+    """Pivot utilization per variant over a synthesized-workload sweep.
+
+    ``results`` is a sequence of :class:`repro.exp.worker.PointResult`
+    (duck-typed: ``.point.variant``, ``.point.total_utilization``,
+    ``.dmr``), e.g. ``GridResult.results`` from a utilization-axis grid.
+    Replicated seeds of one cell are averaged before pivot detection.
+    """
+    samples: Dict[Tuple[str, float], List[float]] = {}
+    order: List[str] = []
+    for result in results:
+        variant = result.point.variant
+        if variant not in order:
+            order.append(variant)
+        key = (variant, result.point.total_utilization)
+        samples.setdefault(key, []).append(result.dmr)
+    return {
+        variant: find_utilization_pivot(
+            [
+                (utilization, sum(dmrs) / len(dmrs))
+                for (v, utilization), dmrs in samples.items()
+                if v == variant
+            ],
+            dmr_tolerance,
+        )
+        for variant in order
     }

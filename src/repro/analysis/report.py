@@ -108,15 +108,75 @@ def render_aggregate_table(
     return f"{title}\n{table}" if title else table
 
 
+def render_utilization_table(
+    aggregates: Dict[str, List[AggregatePoint]],
+    metric: str = "total_fps",
+    title: str = "",
+) -> str:
+    """Utilization-axis sweep as text: one row per (task count, target
+    utilization) cell, one column per scheduler variant.
+
+    The row axis comes from :attr:`AggregatePoint.total_utilization` — the
+    synthesized-workload grids' load coordinate; single-seed cells render
+    plain means, replicated cells ``mean±ci95``.
+    """
+    if metric not in ("total_fps", "dmr"):
+        raise ValueError(f"metric must be 'total_fps' or 'dmr', got {metric!r}")
+    variants = list(aggregates)
+    rows_axis = sorted(
+        {
+            (a.num_tasks, a.total_utilization)
+            for points in aggregates.values()
+            for a in points
+        }
+    )
+    lookup = {
+        variant: {(a.num_tasks, a.total_utilization): a for a in points}
+        for variant, points in aggregates.items()
+    }
+    header = ["tasks", "target_util"] + variants
+    rows: List[List[str]] = []
+    for num_tasks, utilization in rows_axis:
+        row = [str(num_tasks), f"{utilization:g}" if utilization else "default"]
+        for variant in variants:
+            agg = lookup[variant].get((num_tasks, utilization))
+            if agg is None:
+                row.append("-")
+                continue
+            if metric == "total_fps":
+                value, ci = agg.mean_fps, agg.ci_fps
+                cell = f"{value:.1f}"
+                if agg.n > 1:
+                    cell += f"±{ci:.1f}"
+            else:
+                value, ci = agg.mean_dmr * 100, agg.ci_dmr * 100
+                cell = f"{value:.1f}"
+                if agg.n > 1:
+                    cell += f"±{ci:.1f}"
+                cell += "%"
+            row.append(cell)
+        rows.append(row)
+    table = _format_table(header, rows)
+    return f"{title}\n{table}" if title else table
+
+
 def sweep_to_csv(sweep: Dict[str, List[SweepPoint]]) -> str:
-    """CSV export: variant,num_tasks,total_fps,dmr,utilization."""
+    """CSV export: variant,num_tasks,target_utilization,total_fps,dmr,utilization.
+
+    ``target_utilization`` keeps the rows of a synthesized
+    utilization-axis sweep distinguishable (it is 0 on the paper's
+    task-count sweeps); ``utilization`` is the measured device busy
+    fraction.
+    """
     out = io.StringIO()
-    out.write("variant,num_tasks,total_fps,dmr,utilization\n")
+    out.write("variant,num_tasks,target_utilization,total_fps,dmr,utilization\n")
     for variant, points in sweep.items():
-        for p in sorted(points, key=lambda q: q.num_tasks):
+        for p in sorted(
+            points, key=lambda q: (q.num_tasks, q.target_utilization)
+        ):
             out.write(
-                f"{variant},{p.num_tasks},{p.total_fps:.3f},"
-                f"{p.dmr:.5f},{p.utilization:.4f}\n"
+                f"{variant},{p.num_tasks},{p.target_utilization:g},"
+                f"{p.total_fps:.3f},{p.dmr:.5f},{p.utilization:.4f}\n"
             )
     return out.getvalue()
 

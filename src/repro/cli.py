@@ -13,13 +13,24 @@ Usage::
     python -m repro sweep --scenario 2 --seeds 5 --jitter-cv 0.1
     python -m repro sweep --cache-dir .sweep-cache --out grid.json
 
+    # heterogeneous (synthesized) workloads, by scenario name
+    python -m repro sweep --list-scenarios
+    python -m repro sweep --scenario mixed_fleet --tasks 6,10
+    python -m repro sweep --scenario util_ramp --utilizations 1.0,1.5,2.0
+    python -m repro synth --scenario surveillance_burst --tasks 8
+
 ``--fast`` shrinks the task grid and simulation horizon for a quick look;
 the benchmark harness under ``benchmarks/`` runs the full-fidelity version.
 ``sweep`` runs the same grids through :func:`repro.exp.runner.run_grid`:
 ``--workers N`` shards points over N processes, ``--cache-dir`` skips
 already-computed points, and ``--seeds K`` replicates every point over K
 seeds and reports mean +/- 95% CI (pair it with ``--jitter-cv`` — with
-zero jitter the replicas are identical by design).
+zero jitter the replicas are identical by design).  ``--scenario`` takes a
+paper scenario (``1``/``2``) or any name from ``--list-scenarios``; synth
+scenarios accept a ``--utilizations`` axis plus ``--period-class`` /
+``--zoo-mix`` / ``--deadline-mode`` overrides.  ``synth`` synthesizes one
+taskset and prints its composition and analytic capacity estimates
+without running a sweep.
 """
 
 from __future__ import annotations
@@ -28,21 +39,28 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.analysis.pivot import pivot_table
+from repro.analysis.pivot import pivot_table, utilization_pivot_table
 from repro.analysis.report import (
     ascii_chart,
     render_aggregate_table,
     render_fig1_table,
     render_sweep_table,
+    render_utilization_table,
     sweep_to_csv,
 )
+from repro.core.context_pool import ContextPoolConfig
 from repro.dnn.resnet import build_resnet18
+from repro.exp.grid import registered_variants
 from repro.exp.runner import run_grid
+from repro.gpu.spec import RTX_2080_TI
 from repro.speedup.measure import measure_network_speedup, measure_op_speedups
 from repro.workloads.scenarios import (
+    OVERSUBSCRIPTION_LEVELS,
+    PAPER_SCENARIOS,
     SCENARIO_1,
     SCENARIO_2,
     Scenario,
+    list_all_scenarios,
     run_scenario_sweep,
     scenario_grid,
 )
@@ -50,6 +68,11 @@ from repro.workloads.scenarios import (
 #: Task grid of the full sweeps (the paper sweeps to ~30 tasks).
 FULL_TASK_COUNTS = tuple(range(2, 31, 2)) + (23, 25, 27, 29)
 FAST_TASK_COUNTS = (4, 8, 12, 16, 20, 24, 28)
+
+#: Default task grids of synthesized-workload sweeps (the mix, not the
+#: count, is the interesting axis there).
+SYNTH_FULL_TASK_COUNTS = (4, 8, 12, 16)
+SYNTH_FAST_TASK_COUNTS = (4, 8, 12)
 
 
 def _fig1(args: argparse.Namespace) -> None:
@@ -93,9 +116,52 @@ def _scenario(
         print(f"CSV written to {args.csv}")
 
 
+def _print_scenarios() -> None:
+    print("registered scenarios:")
+    for name, description in list_all_scenarios():
+        print(f"  {name:<20} {description}")
+
+
+def _print_variants() -> None:
+    print("built-in variants:")
+    print("  naive                single-stage baseline, 1.0x partitions")
+    for level in OVERSUBSCRIPTION_LEVELS:
+        print(f"  sgprs_{level:<14g} SGPRS at {level:g}x over-subscription")
+    print("  sgprs_<os>           any other over-subscription level")
+    custom = registered_variants()
+    if custom:
+        print("registered custom variants:")
+        for name in custom:
+            print(f"  {name}")
+
+
 def _sweep(args: argparse.Namespace) -> None:
-    scenario = SCENARIO_1 if args.scenario == 1 else SCENARIO_2
-    counts = FAST_TASK_COUNTS if args.fast else FULL_TASK_COUNTS
+    if args.list_scenarios:
+        _print_scenarios()
+        return
+    if args.list_variants:
+        _print_variants()
+        return
+    if args.scenario in PAPER_SCENARIOS:
+        _sweep_paper(PAPER_SCENARIOS[args.scenario], args)
+    else:
+        _sweep_synth(args)
+
+
+def _sweep_paper(scenario: Scenario, args: argparse.Namespace) -> None:
+    synth_only = {
+        "--utilizations": args.utilizations,
+        "--period-class": args.period_class,
+        "--zoo-mix": args.zoo_mix,
+        "--deadline-mode": args.deadline_mode,
+    }
+    offending = [flag for flag, value in synth_only.items() if value]
+    if offending:
+        raise SystemExit(
+            f"{', '.join(offending)} require a synth scenario "
+            f"(see --list-scenarios), not {scenario.name!r}"
+        )
+    counts = args.tasks or (FAST_TASK_COUNTS if args.fast else FULL_TASK_COUNTS)
     duration = 2.5 if args.fast else 6.0
     warmup = 1.0 if args.fast else 1.5
     grid = scenario_grid(
@@ -113,6 +179,60 @@ def _sweep(args: argparse.Namespace) -> None:
         f"({result.cache_hits} cached, {result.cache_misses} computed, "
         f"workers={args.workers})"
     )
+    _print_count_tables(result, args)
+    _export(result, args)
+
+
+def _sweep_synth(args: argparse.Namespace) -> None:
+    from repro.workloads.synth.scenarios import get_synth_scenario
+    from repro.workloads.synth.sweep import synth_grid
+
+    scenario = get_synth_scenario(args.scenario)  # KeyError lists the names
+    counts = args.tasks or (
+        SYNTH_FAST_TASK_COUNTS if args.fast else SYNTH_FULL_TASK_COUNTS
+    )
+    duration = 1.5 if args.fast else 4.0
+    warmup = 0.5 if args.fast else 1.0
+    grid = synth_grid(
+        scenario.name,
+        utilizations=args.utilizations or (),
+        task_counts=tuple(sorted(counts)),
+        duration=duration,
+        warmup=warmup,
+        seeds=tuple(range(args.seeds)),
+        work_jitter_cv=args.jitter_cv,
+        period_class=args.period_class,
+        zoo_mix=args.zoo_mix,
+        deadline_mode=args.deadline_mode,
+    )
+    result = run_grid(grid, workers=args.workers, cache_dir=args.cache_dir)
+    print(
+        f"sweep {scenario.name} ({scenario.num_contexts} contexts, "
+        f"mix={args.zoo_mix or scenario.zoo_mix}): "
+        f"{len(result.results)} points in {result.elapsed:.2f}s "
+        f"({result.cache_hits} cached, {result.cache_misses} computed, "
+        f"workers={args.workers})"
+    )
+    if args.utilizations and len(args.utilizations) > 1:
+        aggregates = result.aggregate()
+        print(render_utilization_table(aggregates, "total_fps", title="total FPS"))
+        print()
+        print(
+            render_utilization_table(
+                aggregates, "dmr", title="deadline miss rate"
+            )
+        )
+        print()
+        print("pivot utilization (largest target with zero misses):")
+        for variant, pivot in utilization_pivot_table(result.results).items():
+            print(f"  {variant}: {pivot}")
+    else:
+        _print_count_tables(result, args)
+    _export(result, args)
+
+
+def _print_count_tables(result, args: argparse.Namespace) -> None:
+    """The classic task-count-axis tables (seed means or mean±ci95)."""
     if args.seeds > 1:
         aggregates = result.aggregate()
         print(
@@ -135,6 +255,9 @@ def _sweep(args: argparse.Namespace) -> None:
         print(render_sweep_table(sweep, "total_fps", title="total FPS"))
         print()
         print(render_sweep_table(sweep, "dmr", title="deadline miss rate"))
+
+
+def _export(result, args: argparse.Namespace) -> None:
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(sweep_to_csv(result.sweep()))
@@ -144,6 +267,46 @@ def _sweep(args: argparse.Namespace) -> None:
 
         save_grid(result, args.out)
         print(f"grid JSON written to {args.out}")
+
+
+def _synth(args: argparse.Namespace) -> None:
+    """Synthesize one taskset and print its composition + capacity math."""
+    from repro.analysis.schedulability import (
+        taskset_naive_utilization,
+        taskset_sgprs_utilization,
+    )
+    from repro.workloads.synth.scenarios import get_synth_scenario
+    from repro.workloads.synth.taskset import describe_taskset, synthesize_taskset
+
+    scenario = get_synth_scenario(args.scenario)
+    spec = scenario.spec(
+        num_tasks=args.tasks,
+        seed=args.seed,
+        total_utilization=args.utilization,
+        period_class=args.period_class,
+        zoo_mix=args.zoo_mix,
+        deadline_mode=args.deadline_mode,
+    )
+    pool = ContextPoolConfig.from_oversubscription(
+        scenario.num_contexts, 1.0, RTX_2080_TI
+    )
+    tasks = synthesize_taskset(spec, nominal_sms=pool.sms_per_context)
+    print(
+        f"{scenario.name}: {spec.num_tasks} tasks, target utilization "
+        f"{spec.total_utilization:g}, mix={spec.zoo_mix}, "
+        f"periods={spec.period_class}, deadlines={spec.deadline_mode}, "
+        f"seed={spec.seed}"
+    )
+    print()
+    print(describe_taskset(tasks))
+    print()
+    naive_util = taskset_naive_utilization(
+        tasks, scenario.num_contexts, pool.sms_per_context
+    )
+    sgprs_util = taskset_sgprs_utilization(tasks, RTX_2080_TI)
+    print("analytic demand (fraction of capacity; >1 predicts misses):")
+    print(f"  naive ({scenario.num_contexts} contexts): {naive_util:.3f}")
+    print(f"  sgprs (saturation ceiling):  {sgprs_util:.3f}")
 
 
 def _positive_int(value: str) -> int:
@@ -165,6 +328,30 @@ def _jitter_cv(value: str) -> float:
     if not 0.0 <= number < 1.0:
         raise argparse.ArgumentTypeError(f"must be in [0, 1), got {number}")
     return number
+
+
+def _task_counts(value: str) -> tuple:
+    """Comma-separated positive ints, e.g. ``4,8,12``."""
+    try:
+        counts = tuple(_positive_int(part) for part in value.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated positive ints, got {value!r}"
+        ) from None
+    return counts
+
+
+def _utilizations(value: str) -> tuple:
+    """Comma-separated positive floats, e.g. ``1.0,1.5,2.0``."""
+    try:
+        utils = tuple(float(part) for part in value.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated floats, got {value!r}"
+        ) from None
+    if any(u <= 0 for u in utils):
+        raise argparse.ArgumentTypeError(f"utilizations must be > 0: {value!r}")
+    return utils
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -201,10 +388,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--scenario",
-        type=int,
-        choices=(1, 2),
-        default=1,
-        help="context-pool scenario (1: two contexts, 2: three)",
+        default="1",
+        help=(
+            "scenario to sweep: 1/2 (the paper's identical-task pools) or "
+            "any name from --list-scenarios (e.g. mixed_fleet)"
+        ),
+    )
+    sweep.add_argument(
+        "--tasks",
+        type=_task_counts,
+        default=None,
+        metavar="N[,N...]",
+        help="override the task-count axis (comma-separated)",
+    )
+    sweep.add_argument(
+        "--utilizations",
+        type=_utilizations,
+        default=None,
+        metavar="U[,U...]",
+        help=(
+            "target-total-utilization axis for synth scenarios "
+            "(comma-separated; enables the utilization pivot tables)"
+        ),
+    )
+    sweep.add_argument(
+        "--period-class",
+        default="",
+        choices=("", "implied", "camera", "loguniform"),
+        help="override the synth scenario's period class",
+    )
+    sweep.add_argument(
+        "--zoo-mix",
+        default="",
+        help="override the synth scenario's model mix (see synth.zoo)",
+    )
+    sweep.add_argument(
+        "--deadline-mode",
+        default="",
+        choices=("", "implicit", "constrained"),
+        help="override the synth scenario's deadline mode",
+    )
+    sweep.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered scenarios and exit",
+    )
+    sweep.add_argument(
+        "--list-variants",
+        action="store_true",
+        help="print the known scheduler variants and exit",
     )
     sweep.add_argument(
         "--workers",
@@ -234,6 +466,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the full per-seed grid result to this JSON file",
     )
+    synth = commands.add_parser(
+        "synth",
+        help="synthesize one heterogeneous taskset and print its composition",
+    )
+    synth.add_argument(
+        "--scenario",
+        default="mixed_fleet",
+        help="synth scenario name (see sweep --list-scenarios)",
+    )
+    synth.add_argument(
+        "--tasks",
+        type=_positive_int,
+        default=8,
+        help="taskset size",
+    )
+    synth.add_argument(
+        "--utilization",
+        type=float,
+        default=None,
+        help="target total utilization (default: the scenario's)",
+    )
+    synth.add_argument(
+        "--seed", type=_nonnegative_int, default=0, help="synthesis seed"
+    )
+    synth.add_argument(
+        "--period-class",
+        default="",
+        choices=("", "implied", "camera", "loguniform"),
+        help="override the scenario's period class",
+    )
+    synth.add_argument(
+        "--zoo-mix", default="", help="override the scenario's model mix"
+    )
+    synth.add_argument(
+        "--deadline-mode",
+        default="",
+        choices=("", "implicit", "constrained"),
+        help="override the scenario's deadline mode",
+    )
     return parser
 
 
@@ -248,6 +519,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _scenario(SCENARIO_2, "Fig. 4", args)
     if args.figure == "sweep":
         _sweep(args)
+    if args.figure == "synth":
+        _synth(args)
     return 0
 
 

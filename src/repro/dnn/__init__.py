@@ -11,10 +11,14 @@ deep-learning framework:
 * :mod:`repro.dnn.graph` — a small deterministic DAG container;
 * :mod:`repro.dnn.resnet` — ResNet-18/34 builders (the paper's benchmark);
 * :mod:`repro.dnn.models` — auxiliary small networks for tests/examples;
+* :mod:`repro.dnn.mobilenet` — depthwise-separable MobileNet-style builder;
+* :mod:`repro.dnn.mixer` — tiny MLP-Mixer chain (transformer-ish profile);
 * :mod:`repro.dnn.stages` — balanced partitioning of a network into stages.
 """
 
 from repro.dnn.graph import LayerGraph
+from repro.dnn.mixer import build_mlp_mixer
+from repro.dnn.mobilenet import build_mobilenet_small
 from repro.dnn.models import build_mlp, build_simple_cnn, build_vgg11
 from repro.dnn.ops import Operator, OpType
 from repro.dnn.resnet import build_resnet18, build_resnet34
@@ -29,6 +33,8 @@ __all__ = [
     "build_simple_cnn",
     "build_vgg11",
     "build_mlp",
+    "build_mobilenet_small",
+    "build_mlp_mixer",
     "StagePlan",
     "partition_into_stages",
 ]

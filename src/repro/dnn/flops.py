@@ -46,6 +46,23 @@ def conv2d_bytes(
     )
 
 
+def depthwise_conv2d_flops(out_shape: Tuple[int, int, int], kernel: int) -> float:
+    """FLOPs of a depthwise (per-channel) square-kernel convolution.
+
+    Each output element sees only its own channel's ``kernel x kernel``
+    window, so the MAC count drops by the ``in_channels`` factor of a dense
+    convolution — the defining saving of depthwise-separable networks.
+    """
+    out_channels, out_h, out_w = out_shape
+    macs = out_channels * out_h * out_w * kernel * kernel
+    return 2.0 * macs
+
+
+def depthwise_conv2d_params(channels: int, kernel: int) -> int:
+    """Weight count of a bias-free depthwise convolution."""
+    return channels * kernel * kernel
+
+
 def batchnorm_flops(shape: Tuple[int, int, int]) -> float:
     """Inference-time batch norm: scale + shift = 2 FLOPs per element."""
     return 2.0 * element_count(shape)

@@ -1,0 +1,130 @@
+"""Tiny MLP-Mixer-style network builder (transformer-ish cost profile).
+
+A Mixer block alternates *token mixing* (a linear layer across the patch
+axis, applied per channel) and *channel mixing* (a linear layer across the
+channel axis, applied per patch), each wrapped in a residual connection.
+Activations are carried as a flat ``(patches * dim,)`` vector; the mixing
+operators are built directly with the analytically correct FLOP/byte
+counts (``2·N²·d`` for token mixing, ``2·d²·N`` for channel mixing), which
+a naive dense ``(N·d) x (N·d)`` linear would overstate by orders of
+magnitude.
+
+This gives the model zoo a third cost shape: all-LINEAR/ADD work with no
+convolutions, i.e. poor per-kernel GPU scaling (the paper's Fig. 1 caps
+linear layers below 7x) and heavy residual traffic.
+
+Example
+-------
+>>> from repro.dnn.mixer import build_mlp_mixer
+>>> graph = build_mlp_mixer(num_patches=16, dim=64, depth=2)
+>>> graph.name
+'mlp_mixer'
+"""
+
+from __future__ import annotations
+
+from repro.dnn import flops as F
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Operator, OpType
+from repro.dnn.resnet import _Builder
+
+
+def _mixing_linear(
+    builder: _Builder, name: str, flops: float, params: int
+) -> None:
+    """A shape-preserving mixing layer with explicit cost accounting."""
+    shape = builder.shape
+    elements = shape[0]
+    bytes_moved = F.DTYPE_BYTES * (2.0 * elements + params)
+    builder._attach(
+        Operator(
+            name=name,
+            op_type=OpType.LINEAR,
+            input_shape=shape,
+            output_shape=shape,
+            flops=flops,
+            bytes_moved=bytes_moved,
+            params=params,
+        )
+    )
+
+
+def build_mlp_mixer(
+    num_patches: int = 64,
+    dim: int = 128,
+    depth: int = 4,
+    num_classes: int = 10,
+    name: str = "mlp_mixer",
+) -> LayerGraph:
+    """An MLP-Mixer chain: ``depth`` token/channel mixing blocks + head.
+
+    Each block is token-mix -> ReLU -> residual add -> channel-mix -> ReLU
+    -> residual add; the head average-pools over patches and classifies.
+    At the defaults this is a few tens of MFLOPs — far below ResNet18 —
+    but composed entirely of LINEAR/ADD kernels that scale poorly with
+    SMs, so it stresses the scheduler very differently per FLOP.
+    """
+    if num_patches < 2 or dim < 2:
+        raise ValueError("num_patches and dim must be >= 2")
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    graph = LayerGraph(name)
+    input_shape = (num_patches * dim,)
+    graph.add_node(
+        Operator(
+            name="input",
+            op_type=OpType.FLATTEN,
+            input_shape=input_shape,
+            output_shape=input_shape,
+            flops=0.0,
+            bytes_moved=0.0,
+        )
+    )
+    builder = _Builder(graph, "input", input_shape)
+    for block in range(depth):
+        prefix = f"block{block}"
+        skip_head, skip_shape = builder.head, builder.shape
+        _mixing_linear(
+            builder,
+            f"{prefix}.token_mix",
+            flops=2.0 * num_patches * num_patches * dim,
+            params=num_patches * num_patches,
+        )
+        builder.relu(f"{prefix}.token_relu")
+        builder.add(f"{prefix}.token_add", skip_head, skip_shape)
+        skip_head, skip_shape = builder.head, builder.shape
+        _mixing_linear(
+            builder,
+            f"{prefix}.channel_mix",
+            flops=2.0 * dim * dim * num_patches,
+            params=dim * dim,
+        )
+        builder.relu(f"{prefix}.channel_relu")
+        builder.add(f"{prefix}.channel_add", skip_head, skip_shape)
+
+    # Head: mean over patches, then classify.
+    pooled_shape = (dim,)
+    builder._attach(
+        Operator(
+            name="patch_pool",
+            op_type=OpType.AVGPOOL,
+            input_shape=builder.shape,
+            output_shape=pooled_shape,
+            flops=float(num_patches * dim),
+            bytes_moved=F.DTYPE_BYTES * (num_patches * dim + dim),
+        )
+    )
+    builder.linear("head", num_classes)
+    shape = builder.shape
+    builder._attach(
+        Operator(
+            name="softmax",
+            op_type=OpType.SOFTMAX,
+            input_shape=shape,
+            output_shape=shape,
+            flops=F.softmax_flops(shape[0]),
+            bytes_moved=F.softmax_bytes(shape[0]),
+        )
+    )
+    graph.validate()
+    return graph

@@ -69,6 +69,32 @@ class _Builder:
             )
         )
 
+    def depthwise_conv(
+        self, name: str, kernel: int, stride: int = 1, padding: int = 0
+    ) -> None:
+        """Append a bias-free depthwise (per-channel) 2-D convolution."""
+        in_shape = self.shape
+        channels = in_shape[0]
+        out_shape = conv2d_output_shape(in_shape, channels, kernel, stride, padding)
+        params = F.depthwise_conv2d_params(channels, kernel)
+        self._attach(
+            Operator(
+                name=name,
+                op_type=OpType.CONV2D,
+                input_shape=in_shape,
+                output_shape=out_shape,
+                flops=F.depthwise_conv2d_flops(out_shape, kernel),
+                bytes_moved=F.conv2d_bytes(in_shape, out_shape, params),
+                params=params,
+                attributes=(
+                    ("kernel", kernel),
+                    ("stride", stride),
+                    ("padding", padding),
+                    ("depthwise", True),
+                ),
+            )
+        )
+
     def batchnorm(self, name: str) -> None:
         """Append an inference-mode batch normalisation."""
         shape = self.shape

@@ -43,7 +43,12 @@ def mean_ci(values: Sequence[float]) -> Tuple[float, float]:
 
 @dataclass(frozen=True)
 class AggregatePoint:
-    """Mean +/- 95% CI over seed replications of one sweep cell."""
+    """Mean +/- 95% CI over seed replications of one sweep cell.
+
+    ``total_utilization`` is the cell's target-utilization coordinate on
+    synthesized-workload grids (0.0 on identical-workload grids, where the
+    axis does not exist).
+    """
 
     variant: str
     num_tasks: int
@@ -54,25 +59,31 @@ class AggregatePoint:
     ci_dmr: float
     mean_utilization: float
     ci_utilization: float
+    total_utilization: float = 0.0
 
 
 def aggregate_results(
     results: Sequence[PointResult],
 ) -> Dict[str, List[AggregatePoint]]:
-    """Group results by (variant, task count) and reduce over seeds.
+    """Group results by (variant, task count, target utilization) and
+    reduce over seeds.
 
     Points are grouped across *all* other coordinates being equal only in
     seed; callers pass the results of one grid, where that holds by
-    construction.  Grid order is preserved: variants and task counts come
-    out in the order the points went in (matching the caller's
-    ``GridSpec``), not re-sorted.
+    construction.  Grid order is preserved: variants, task counts and
+    utilization columns come out in the order the points went in (matching
+    the caller's ``GridSpec``), not re-sorted.
     """
-    cells: Dict[Tuple[str, int], List[PointResult]] = {}
+    cells: Dict[Tuple[str, int, float], List[PointResult]] = {}
     for result in results:
-        key = (result.point.variant, result.point.num_tasks)
+        key = (
+            result.point.variant,
+            result.point.num_tasks,
+            result.point.total_utilization,
+        )
         cells.setdefault(key, []).append(result)
     out: Dict[str, List[AggregatePoint]] = {}
-    for (variant, num_tasks), sample in cells.items():
+    for (variant, num_tasks, total_utilization), sample in cells.items():
         fps_mean, fps_ci = mean_ci([r.total_fps for r in sample])
         dmr_mean, dmr_ci = mean_ci([r.dmr for r in sample])
         util_mean, util_ci = mean_ci([r.utilization for r in sample])
@@ -87,6 +98,7 @@ def aggregate_results(
                 ci_dmr=dmr_ci,
                 mean_utilization=util_mean,
                 ci_utilization=util_ci,
+                total_utilization=total_utilization,
             )
         )
     return out
@@ -110,6 +122,7 @@ def to_sweep(results: Sequence[PointResult]):
                 total_fps=agg.mean_fps,
                 dmr=agg.mean_dmr,
                 utilization=agg.mean_utilization,
+                target_utilization=agg.total_utilization,
             )
             for agg in aggregates
         ]

@@ -34,13 +34,65 @@ from repro.core.sgprs import SgprsScheduler
 from repro.workloads.generator import DEFAULT_NUM_STAGES, DEFAULT_PERIOD
 
 #: Bumped whenever point evaluation semantics change, invalidating caches.
-SCHEMA_VERSION = 1
+#: v2: workload-synthesis axes (workload / total_utilization / period_class
+#: / zoo_mix / deadline_mode) joined the point identity.
+SCHEMA_VERSION = 2
 
 #: A resolver maps a requested stage count to
 #: (scheduler class, over-subscription level, stages per task).
 VariantResolver = Callable[[int], Tuple[Type[SchedulerBase], float, int]]
 
 _VARIANT_REGISTRY: Dict[str, VariantResolver] = {}
+
+
+def registered_variants() -> Tuple[str, ...]:
+    """Names registered via :func:`register_variant`, sorted."""
+    return tuple(sorted(_VARIANT_REGISTRY))
+
+
+def _validate_workload_axes(
+    workload: str,
+    total_utilization: float,
+    period_class: str,
+    zoo_mix: str,
+    deadline_mode: str,
+) -> None:
+    """Shared validation of the synthesis axes on points and specs.
+
+    The synth registries are imported lazily: :mod:`repro.workloads.synth`
+    depends on :mod:`repro.workloads.generator` just like this module, and
+    a module-level import here would tighten the package import cycle for
+    no benefit (validation only happens at object construction time).
+    """
+    if total_utilization < 0:
+        raise ValueError(
+            f"total_utilization must be >= 0, got {total_utilization}"
+        )
+    if workload == "identical":
+        if total_utilization or period_class or zoo_mix or deadline_mode:
+            raise ValueError(
+                "synthesis axes (total_utilization/period_class/zoo_mix/"
+                "deadline_mode) require a synth workload, not 'identical'"
+            )
+        return
+    from repro.workloads.synth.spec import DEADLINE_MODES, PERIOD_CLASSES
+    from repro.workloads.synth.scenarios import get_synth_scenario
+    from repro.workloads.synth.zoo import get_mix
+
+    try:
+        get_synth_scenario(workload)
+        if zoo_mix:
+            get_mix(zoo_mix)
+    except KeyError as error:
+        raise ValueError(str(error)) from None
+    if period_class and period_class not in PERIOD_CLASSES:
+        raise ValueError(
+            f"period_class must be one of {PERIOD_CLASSES}, got {period_class!r}"
+        )
+    if deadline_mode and deadline_mode not in DEADLINE_MODES:
+        raise ValueError(
+            f"deadline_mode must be one of {DEADLINE_MODES}, got {deadline_mode!r}"
+        )
 
 
 def register_variant(name: str, resolver: VariantResolver) -> None:
@@ -96,6 +148,14 @@ class GridPoint:
 
     ``seed`` is the simulation seed actually passed to the run (derived);
     ``base_seed`` records which replication the point belongs to.
+
+    The synthesis axes (``workload`` et al.) describe *what taskset* the
+    point runs: the default ``"identical"`` is the paper's homogeneous
+    ResNet18 workload; any other value names a registered
+    :class:`~repro.workloads.synth.scenarios.SynthScenario`, with
+    ``total_utilization`` (0.0 = the scenario default) and the
+    ``period_class`` / ``zoo_mix`` / ``deadline_mode`` overrides ("" = the
+    scenario default) as sweepable coordinates.
     """
 
     scenario: str
@@ -110,6 +170,11 @@ class GridPoint:
     num_stages: int = DEFAULT_NUM_STAGES
     period: float = DEFAULT_PERIOD
     allow_stream_borrowing: bool = True
+    workload: str = "identical"
+    total_utilization: float = 0.0
+    period_class: str = ""
+    zoo_mix: str = ""
+    deadline_mode: str = ""
 
     def __post_init__(self) -> None:
         if self.num_tasks < 1:
@@ -119,13 +184,27 @@ class GridPoint:
                 f"num_contexts must be >= 1, got {self.num_contexts}"
             )
         resolve_variant(self.variant)  # fail fast on unknown variants
+        _validate_workload_axes(
+            self.workload,
+            self.total_utilization,
+            self.period_class,
+            self.zoo_mix,
+            self.deadline_mode,
+        )
 
     @property
     def label(self) -> str:
-        """Short human-readable identity, e.g. ``scenario1/sgprs_1.5/n25/s0``."""
+        """Short human-readable identity, e.g. ``scenario1/sgprs_1.5/n25/s0``
+        (synth points insert the workload and utilization:
+        ``util_ramp/u2.5/naive/n8/s0``)."""
+        if self.workload == "identical":
+            return (
+                f"{self.scenario}/{self.variant}/n{self.num_tasks}"
+                f"/s{self.base_seed}"
+            )
         return (
-            f"{self.scenario}/{self.variant}/n{self.num_tasks}"
-            f"/s{self.base_seed}"
+            f"{self.workload}/u{self.total_utilization:g}/{self.variant}"
+            f"/n{self.num_tasks}/s{self.base_seed}"
         )
 
     def config_dict(self) -> dict:
@@ -154,6 +233,11 @@ class GridSpec:
     evaluated once per seed and aggregated over them.  With the default
     single seed and zero jitter the grid reproduces the historical serial
     sweep exactly.
+
+    For synthesized workloads (``workload`` naming a registered synth
+    scenario), ``utilizations`` adds a target-total-utilization axis: the
+    grid becomes variant x task count x utilization x seed.  An empty
+    ``utilizations`` runs one column at the scenario's default target.
     """
 
     scenario: str
@@ -167,6 +251,11 @@ class GridSpec:
     num_stages: int = DEFAULT_NUM_STAGES
     period: float = DEFAULT_PERIOD
     allow_stream_borrowing: bool = True
+    workload: str = "identical"
+    utilizations: Tuple[float, ...] = ()
+    period_class: str = ""
+    zoo_mix: str = ""
+    deadline_mode: str = ""
 
     def __post_init__(self) -> None:
         if not self.variants:
@@ -177,6 +266,21 @@ class GridSpec:
             raise ValueError("seeds must be non-empty")
         for variant in self.variants:
             resolve_variant(variant)
+        if self.workload == "identical" and self.utilizations:
+            raise ValueError(
+                "a utilization axis requires a synth workload"
+            )
+        if any(u <= 0 for u in self.utilizations):
+            raise ValueError(
+                f"utilizations must be positive, got {self.utilizations}"
+            )
+        _validate_workload_axes(
+            self.workload,
+            0.0,
+            self.period_class,
+            self.zoo_mix,
+            self.deadline_mode,
+        )
 
     @classmethod
     def from_scenario(cls, scenario, **kwargs) -> "GridSpec":
@@ -187,37 +291,63 @@ class GridSpec:
             **kwargs,
         )
 
+    def _utilization_axis(self) -> Tuple[float, ...]:
+        """The utilization column values (0.0 = scenario default)."""
+        return self.utilizations or (0.0,)
+
     def __len__(self) -> int:
-        return len(self.variants) * len(self.task_counts) * len(self.seeds)
+        return (
+            len(self.variants)
+            * len(self.task_counts)
+            * len(self._utilization_axis())
+            * len(self.seeds)
+        )
 
     def points(self) -> Iterator[GridPoint]:
-        """Enumerate the grid in deterministic (variant, count, seed) order.
+        """Enumerate the grid in deterministic (variant, count, utilization,
+        seed) order.
 
         With jitter enabled each point gets a derived simulation seed; with
         zero jitter the replication seed is passed through unchanged (the
         RNG is never consulted, and unchanged seeds keep historical cache
-        keys and results stable).
+        keys and results stable).  For identical workloads the seed
+        derivation coordinates are unchanged from schema v1, so jittered
+        replications of the paper's grids keep their historical streams.
         """
         for variant in self.variants:
             for count in self.task_counts:
-                for base_seed in self.seeds:
-                    if self.work_jitter_cv > 0.0:
-                        seed = derive_seed(
-                            base_seed, self.scenario, variant, count
+                for utilization in self._utilization_axis():
+                    for base_seed in self.seeds:
+                        if self.work_jitter_cv > 0.0:
+                            if self.workload == "identical":
+                                coords = (self.scenario, variant, count)
+                            else:
+                                coords = (
+                                    self.scenario,
+                                    self.workload,
+                                    variant,
+                                    count,
+                                    round(utilization, 9),
+                                )
+                            seed = derive_seed(base_seed, *coords)
+                        else:
+                            seed = base_seed
+                        yield GridPoint(
+                            scenario=self.scenario,
+                            num_contexts=self.num_contexts,
+                            variant=variant,
+                            num_tasks=count,
+                            seed=seed,
+                            base_seed=base_seed,
+                            duration=self.duration,
+                            warmup=self.warmup,
+                            work_jitter_cv=self.work_jitter_cv,
+                            num_stages=self.num_stages,
+                            period=self.period,
+                            allow_stream_borrowing=self.allow_stream_borrowing,
+                            workload=self.workload,
+                            total_utilization=utilization,
+                            period_class=self.period_class,
+                            zoo_mix=self.zoo_mix,
+                            deadline_mode=self.deadline_mode,
                         )
-                    else:
-                        seed = base_seed
-                    yield GridPoint(
-                        scenario=self.scenario,
-                        num_contexts=self.num_contexts,
-                        variant=variant,
-                        num_tasks=count,
-                        seed=seed,
-                        base_seed=base_seed,
-                        duration=self.duration,
-                        warmup=self.warmup,
-                        work_jitter_cv=self.work_jitter_cv,
-                        num_stages=self.num_stages,
-                        period=self.period,
-                        allow_stream_borrowing=self.allow_stream_borrowing,
-                    )

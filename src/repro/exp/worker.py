@@ -91,12 +91,26 @@ def run_point(point: GridPoint) -> PointResult:
         RTX_2080_TI,
         allow_stream_borrowing=point.allow_stream_borrowing,
     )
-    tasks = identical_periodic_tasks(
-        count=point.num_tasks,
-        nominal_sms=pool.sms_per_context,
-        period=point.period,
-        num_stages=task_stages,
-    )
+    if point.workload == "identical":
+        tasks = identical_periodic_tasks(
+            count=point.num_tasks,
+            nominal_sms=pool.sms_per_context,
+            period=point.period,
+            num_stages=task_stages,
+        )
+    else:
+        # Synthesized heterogeneous taskset.  Imported lazily to keep the
+        # worker importable before the workloads package finishes loading
+        # (repro/__init__ import order).  Monolithic variants (the naive
+        # baseline resolves to one stage per task) schedule the same
+        # periods/deadlines as staged variants by construction.
+        from repro.workloads.synth.scenarios import taskset_for_point
+
+        tasks = taskset_for_point(
+            point,
+            nominal_sms=pool.sms_per_context,
+            monolithic=task_stages == 1,
+        )
     result = run_simulation(
         tasks,
         RunConfig(

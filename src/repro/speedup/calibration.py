@@ -105,16 +105,40 @@ class DeviceCalibration:
         """Serial fraction of one operation type's curve."""
         return sigma_for_target(self.speedup_targets[op_type], self.total_sms)
 
+    @property
+    def fingerprint(self) -> tuple:
+        """Hashable value identity of this calibration.
+
+        Caches keyed by calibration must use this, never ``id()``: two
+        calibrations with equal constants are interchangeable, and an
+        ``id()`` can be recycled after garbage collection, silently
+        serving one calibration's cached artifacts to another.
+        """
+        return (
+            self.name,
+            self.total_sms,
+            self.compute_rate_per_sm,
+            self.bandwidth_per_sm,
+            self.launch_overhead,
+            self.elements_per_sm,
+            tuple(
+                sorted(
+                    (op_type.value, target)
+                    for op_type, target in self.speedup_targets.items()
+                )
+            ),
+        )
+
 
 #: The calibration used throughout the reproduction.
 DEFAULT_CALIBRATION = DeviceCalibration()
 
-_CURVE_CACHE: Dict[int, Dict[OpType, SaturatingCurve]] = {}
+_CURVE_CACHE: Dict[tuple, Dict[OpType, SaturatingCurve]] = {}
 
 
 def operator_curve(op_type: OpType, calibration: DeviceCalibration = DEFAULT_CALIBRATION) -> SaturatingCurve:
     """Type-level speedup curve (no instance width limit)."""
-    cache = _CURVE_CACHE.setdefault(id(calibration), {})
+    cache = _CURVE_CACHE.setdefault(calibration.fingerprint, {})
     if op_type not in cache:
         cache[op_type] = SaturatingCurve(calibration.sigma(op_type))
     return cache[op_type]

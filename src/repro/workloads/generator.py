@@ -45,15 +45,30 @@ def clone_task(template: TaskSpec, name: str, release_offset: float) -> TaskSpec
     return clone
 
 
-def _template(
+def template_task(
     graph_builder: Callable[[], LayerGraph],
     builder_key: str,
     period: float,
     num_stages: int,
     nominal_sms: float,
-    calibration: DeviceCalibration,
+    calibration: DeviceCalibration = DEFAULT_CALIBRATION,
 ) -> TaskSpec:
-    key = (builder_key, period, num_stages, round(nominal_sms, 6), id(calibration))
+    """Prepared (offline-profiled) task template, cached across calls.
+
+    The cache key includes the calibration's *value* fingerprint, not its
+    object identity — a custom :class:`DeviceCalibration` can never
+    collide with the default entry (or with another custom instance whose
+    ``id()`` happens to be recycled), while equal-valued calibrations
+    share one template.  Callers must not mutate the returned template;
+    use :func:`clone_task` to instantiate it.
+    """
+    key = (
+        builder_key,
+        period,
+        num_stages,
+        round(nominal_sms, 6),
+        calibration.fingerprint,
+    )
     if key not in _TEMPLATE_CACHE:
         _TEMPLATE_CACHE[key] = prepare_task(
             name="template",
@@ -64,6 +79,10 @@ def _template(
             calibration=calibration,
         )
     return _TEMPLATE_CACHE[key]
+
+
+# Backwards-compatible private alias (pre-synth callers).
+_template = template_task
 
 
 def identical_periodic_tasks(
@@ -91,7 +110,7 @@ def identical_periodic_tasks(
     """
     if count < 1:
         raise ValueError(f"count must be >= 1, got {count}")
-    template = _template(
+    template = template_task(
         graph_builder, builder_key, period, num_stages, nominal_sms, calibration
     )
     tasks: List[TaskSpec] = []
@@ -119,7 +138,7 @@ def mixed_task_set(
     tasks: List[TaskSpec] = []
     max_period = max(spec[2] for spec in specs)
     for index, (graph_builder, builder_key, period, num_stages) in enumerate(specs):
-        template = _template(
+        template = template_task(
             graph_builder, builder_key, period, num_stages, nominal_sms, calibration
         )
         offset = (index / len(specs)) * max_period if stagger else 0.0

@@ -30,6 +30,7 @@ from repro.workloads.generator import (
     DEFAULT_PERIOD,
     identical_periodic_tasks,
 )
+from repro.workloads.synth.scenarios import list_synth_scenarios
 
 #: The over-subscription levels the paper evaluates (SGPRS_os notation).
 OVERSUBSCRIPTION_LEVELS: Tuple[float, ...] = (1.0, 1.5, 2.0)
@@ -56,16 +57,55 @@ SCENARIO_1 = Scenario(name="scenario1", num_contexts=2)
 #: Scenario 2: three contexts (paper Fig. 4).
 SCENARIO_2 = Scenario(name="scenario2", num_contexts=3)
 
+#: The paper's homogeneous scenarios by name (aliases included).
+PAPER_SCENARIOS: Dict[str, Scenario] = {
+    "scenario1": SCENARIO_1,
+    "scenario2": SCENARIO_2,
+    "1": SCENARIO_1,
+    "2": SCENARIO_2,
+}
+
+
+def list_all_scenarios() -> List[Tuple[str, str]]:
+    """Every runnable scenario name with a one-line description.
+
+    Combines the paper's homogeneous scenarios with the registered
+    heterogeneous synthesis scenarios (``mixed_fleet`` etc.); this is what
+    ``python -m repro sweep --list-scenarios`` prints.
+    """
+    entries: List[Tuple[str, str]] = [
+        (
+            SCENARIO_1.name,
+            "paper Fig. 3: identical ResNet18 tasks, 2 contexts",
+        ),
+        (
+            SCENARIO_2.name,
+            "paper Fig. 4: identical ResNet18 tasks, 3 contexts",
+        ),
+    ]
+    entries.extend(
+        (scenario.name, scenario.description)
+        for scenario in list_synth_scenarios()
+    )
+    return entries
+
 
 @dataclass
 class SweepPoint:
-    """One (scheduler variant, task count) measurement."""
+    """One (scheduler variant, task count) measurement.
+
+    ``target_utilization`` distinguishes the columns of a synthesized
+    utilization-axis sweep (0.0 on the paper's identical-task sweeps,
+    where the axis does not exist); ``utilization`` stays the *measured*
+    device utilization.
+    """
 
     variant: str
     num_tasks: int
     total_fps: float
     dmr: float
     utilization: float
+    target_utilization: float = 0.0
 
 
 def sweep_point(

@@ -1,0 +1,89 @@
+"""Heterogeneous taskset synthesis.
+
+This package turns the sweep harness into a scenario engine: instead of
+replaying the paper's one workload (identical ResNet18 tasks at 30 fps),
+it *generates* periodic DNN tasksets — UUniFast utilization partitioning
+over a target total utilization, per-task model selection from a weighted
+model zoo, camera-rate / log-uniform period classes, per-task stage
+counts, and implicit or constrained deadlines — all as a pure function of
+a seed, so synthesized points are deterministic and cacheable by the
+config-hash result cache.
+
+Layout:
+
+* :mod:`~repro.workloads.synth.uunifast` — UUniFast(-discard) partitioning;
+* :mod:`~repro.workloads.synth.zoo` — model registry and weighted mixes;
+* :mod:`~repro.workloads.synth.spec` — :class:`SynthSpec`, the frozen
+  description of one taskset;
+* :mod:`~repro.workloads.synth.taskset` — the synthesizer itself;
+* :mod:`~repro.workloads.synth.scenarios` — named scenarios
+  (``mixed_fleet``, ``surveillance_burst``, ``util_ramp``) and the bridge
+  from grid points to tasksets;
+* :mod:`~repro.workloads.synth.sweep` — utilization-axis sweep helpers
+  (imported separately: it depends on :mod:`repro.exp`).
+
+Quick start::
+
+    from repro.workloads.synth import SynthSpec, synthesize_taskset
+    spec = SynthSpec(num_tasks=8, total_utilization=2.0, zoo_mix="fleet")
+    tasks = synthesize_taskset(spec, nominal_sms=34.0)
+"""
+
+from repro.workloads.synth.scenarios import (
+    SYNTH_SCENARIOS,
+    SynthScenario,
+    derive_synth_seed,
+    get_synth_scenario,
+    list_synth_scenarios,
+    register_synth_scenario,
+    taskset_for_point,
+)
+from repro.workloads.synth.spec import DEADLINE_MODES, PERIOD_CLASSES, SynthSpec
+from repro.workloads.synth.taskset import (
+    CAMERA_PERIODS,
+    describe_taskset,
+    synthesize_taskset,
+    taskset_signature,
+)
+from repro.workloads.synth.uunifast import uunifast, uunifast_discard
+from repro.workloads.synth.zoo import (
+    MODEL_ZOO,
+    ZOO_MIXES,
+    ZooModel,
+    get_mix,
+    get_model,
+    list_mixes,
+    list_models,
+    pick_model,
+    register_mix,
+    register_model,
+)
+
+__all__ = [
+    "SynthSpec",
+    "PERIOD_CLASSES",
+    "DEADLINE_MODES",
+    "SynthScenario",
+    "SYNTH_SCENARIOS",
+    "register_synth_scenario",
+    "get_synth_scenario",
+    "list_synth_scenarios",
+    "taskset_for_point",
+    "derive_synth_seed",
+    "synthesize_taskset",
+    "describe_taskset",
+    "taskset_signature",
+    "CAMERA_PERIODS",
+    "uunifast",
+    "uunifast_discard",
+    "MODEL_ZOO",
+    "ZOO_MIXES",
+    "ZooModel",
+    "register_model",
+    "get_model",
+    "list_models",
+    "register_mix",
+    "get_mix",
+    "list_mixes",
+    "pick_model",
+]

@@ -1,0 +1,196 @@
+"""Named heterogeneous scenarios built on taskset synthesis.
+
+A :class:`SynthScenario` bundles a context-pool size with the synthesis
+defaults (zoo mix, period class, deadline mode, stage choices, target
+utilization).  The registry makes scenarios addressable by name from the
+sweep grid (``GridPoint.workload``), the CLI (``python -m repro sweep
+--scenario mixed_fleet``) and tests; grid axes can override any of the
+defaults per point.
+
+This module deliberately does not import :mod:`repro.exp` — the exp
+package depends on workloads, and the synthesis seed derivation is
+reimplemented here (same construction as :func:`repro.exp.grid.derive_seed`)
+to keep the dependency one-way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.task import TaskSet
+from repro.speedup.calibration import DEFAULT_CALIBRATION, DeviceCalibration
+from repro.workloads.synth.spec import SynthSpec
+from repro.workloads.synth.taskset import synthesize_taskset
+from repro.workloads.synth.zoo import get_mix
+
+
+@dataclass(frozen=True)
+class SynthScenario:
+    """One named heterogeneous evaluation scenario."""
+
+    name: str
+    num_contexts: int
+    description: str
+    zoo_mix: str = "fleet"
+    period_class: str = "camera"
+    deadline_mode: str = "implicit"
+    stage_choices: Tuple[int, ...] = (4, 6, 8)
+    default_utilization: float = 2.0
+
+    def spec(
+        self,
+        num_tasks: int,
+        seed: int = 0,
+        total_utilization: Optional[float] = None,
+        period_class: str = "",
+        zoo_mix: str = "",
+        deadline_mode: str = "",
+    ) -> SynthSpec:
+        """Concrete :class:`SynthSpec` with optional per-axis overrides.
+
+        Empty-string / ``None`` overrides fall back to the scenario
+        defaults — the convention the grid's workload axes use.
+        """
+        return SynthSpec(
+            num_tasks=num_tasks,
+            total_utilization=(
+                total_utilization
+                if total_utilization
+                else self.default_utilization
+            ),
+            zoo_mix=zoo_mix or self.zoo_mix,
+            period_class=period_class or self.period_class,
+            deadline_mode=deadline_mode or self.deadline_mode,
+            stage_choices=self.stage_choices,
+            seed=seed,
+        )
+
+
+SYNTH_SCENARIOS: Dict[str, SynthScenario] = {}
+
+
+def register_synth_scenario(scenario: SynthScenario) -> None:
+    """Register a scenario by name (validates its zoo mix eagerly)."""
+    get_mix(scenario.zoo_mix)
+    if scenario.num_contexts < 1:
+        raise ValueError("num_contexts must be >= 1")
+    SYNTH_SCENARIOS[scenario.name] = scenario
+
+
+def get_synth_scenario(name: str) -> SynthScenario:
+    """Look up a scenario; raises ``KeyError`` naming the known ones."""
+    try:
+        return SYNTH_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown synth scenario {name!r}; known: {sorted(SYNTH_SCENARIOS)}"
+        ) from None
+
+
+def list_synth_scenarios() -> List[SynthScenario]:
+    """All registered scenarios in registration order."""
+    return list(SYNTH_SCENARIOS.values())
+
+
+register_synth_scenario(
+    SynthScenario(
+        name="mixed_fleet",
+        num_contexts=2,
+        description=(
+            "camera-ladder fleet: ResNet18/34 + MobileNet on harmonic "
+            "15*2^k fps rates, implicit deadlines, 2 contexts"
+        ),
+        zoo_mix="fleet",
+        period_class="camera",
+        deadline_mode="implicit",
+        stage_choices=(4, 6, 8),
+        default_utilization=2.0,
+    )
+)
+register_synth_scenario(
+    SynthScenario(
+        name="surveillance_burst",
+        num_contexts=3,
+        description=(
+            "surveillance stack: ResNet18-heavy mix, log-uniform rates, "
+            "constrained deadlines, 3 contexts"
+        ),
+        zoo_mix="surveillance",
+        period_class="loguniform",
+        deadline_mode="constrained",
+        stage_choices=(4, 6),
+        default_utilization=2.5,
+    )
+)
+register_synth_scenario(
+    SynthScenario(
+        name="util_ramp",
+        num_contexts=2,
+        description=(
+            "utilization-axis ramp: fleet mix at exact UUniFast-implied "
+            "periods, fixed 6 stages, 2 contexts"
+        ),
+        zoo_mix="fleet",
+        period_class="implied",
+        deadline_mode="implicit",
+        stage_choices=(6,),
+        default_utilization=2.0,
+    )
+)
+
+
+def derive_synth_seed(base_seed: int, *coords: object) -> int:
+    """Deterministic synthesis seed from a replication seed + coordinates.
+
+    Same SHA-256 construction as :func:`repro.exp.grid.derive_seed` (kept
+    dependency-free here); notably the scheduler *variant* is never a
+    coordinate, so every variant of one grid cell schedules the identical
+    synthesized taskset.
+    """
+    blob = json.dumps([base_seed, *[str(c) for c in coords]]).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+def taskset_for_point(
+    point,
+    nominal_sms: float,
+    monolithic: bool = False,
+    calibration: DeviceCalibration = DEFAULT_CALIBRATION,
+) -> TaskSet:
+    """Synthesize the taskset of one grid point (``point.workload != "identical"``).
+
+    ``point`` is duck-typed (a :class:`repro.exp.grid.GridPoint`): the
+    fields consumed are ``workload``, ``num_tasks``, ``base_seed``,
+    ``total_utilization`` and the axis overrides ``period_class`` /
+    ``zoo_mix`` / ``deadline_mode``.
+    """
+    scenario = get_synth_scenario(point.workload)
+    utilization = point.total_utilization or scenario.default_utilization
+    # The synthesis seed covers replication seed, scenario and task count
+    # — deliberately NOT the utilization or mode overrides.  The
+    # synthesizer draws each task's model/stages/deadline/offset before
+    # consuming the UUniFast stream, so a utilization axis ramps load on
+    # one fixed task mix (a clean pivot sweep) instead of drawing an
+    # unrelated taskset per column; likewise mode overrides reshape the
+    # same draws, keeping columns comparable.  (The variant is never a
+    # coordinate: all schedulers of one cell face the identical taskset.)
+    seed = derive_synth_seed(
+        point.base_seed,
+        "synth",
+        point.workload,
+        point.num_tasks,
+    )
+    spec = scenario.spec(
+        num_tasks=point.num_tasks,
+        seed=seed,
+        total_utilization=utilization,
+        period_class=point.period_class,
+        zoo_mix=point.zoo_mix,
+        deadline_mode=point.deadline_mode,
+    )
+    return synthesize_taskset(
+        spec, nominal_sms, calibration=calibration, monolithic=monolithic
+    )

@@ -1,0 +1,122 @@
+"""Declarative description of one synthesized taskset.
+
+A :class:`SynthSpec` is to taskset synthesis what a
+:class:`~repro.exp.grid.GridPoint` is to a sweep point: frozen, hashable,
+JSON-round-trippable, and a *complete* determinant of the output — the
+same spec always synthesizes the bit-identical taskset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+#: Recognised period-assignment modes (see synth.taskset).
+PERIOD_CLASSES: Tuple[str, ...] = ("implied", "camera", "loguniform")
+
+#: Recognised deadline modes.
+DEADLINE_MODES: Tuple[str, ...] = ("implicit", "constrained")
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """Everything that determines one synthesized taskset.
+
+    Attributes
+    ----------
+    num_tasks:
+        Taskset size.
+    total_utilization:
+        Target sum of per-task utilizations (WCET over period, measured at
+        the nominal partition size).  The synthesizer hits this exactly up
+        to float rounding, whatever the period class.
+    zoo_mix:
+        Named model mix (see :mod:`repro.workloads.synth.zoo`).
+    period_class:
+        ``"implied"`` keeps each task's UUniFast-implied period
+        (``WCET / u_i``); ``"camera"`` snaps it to the nearest rung of the
+        harmonic camera ladder (``15 * 2^k`` fps — the 15/30/60 fps family);
+        ``"loguniform"`` spreads it by a log-uniform factor.  The latter
+        two then re-scale all periods by one global factor so the total
+        utilization lands on target exactly — camera-class rates therefore
+        keep exact octave *ratios* rather than the absolute rungs.
+    deadline_mode:
+        ``"implicit"`` sets ``D_i = T_i``; ``"constrained"`` draws
+        ``D_i = T_i * U(ratio_lo, ratio_hi)``.
+    stage_choices:
+        Per-task stage counts are drawn uniformly from this tuple.
+    max_task_utilization:
+        UUniFast-discard per-task cap.  Self-relaxing: when the target
+        total divided by the task count leaves less than 2x headroom under
+        the cap, the synthesizer floors the cap at twice the mean share so
+        rejection sampling stays feasible and fast.
+    constrained_ratio:
+        ``(lo, hi)`` of the constrained-deadline ratio draw.
+    loguniform_spread:
+        Half-spread factor ``j`` of the log-uniform period jitter: each
+        period is multiplied by ``exp(U(-ln j, +ln j))``.
+    stagger:
+        Draw each task's release offset uniformly in ``[0, T_i)``; with
+        ``False`` all tasks release synchronously at t=0.
+    seed:
+        Synthesis RNG seed.
+    """
+
+    num_tasks: int
+    total_utilization: float
+    zoo_mix: str = "fleet"
+    period_class: str = "camera"
+    deadline_mode: str = "implicit"
+    stage_choices: Tuple[int, ...] = (4, 6, 8)
+    max_task_utilization: float = 0.8
+    constrained_ratio: Tuple[float, float] = (0.7, 1.0)
+    loguniform_spread: float = 3.0
+    stagger: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError(f"num_tasks must be >= 1, got {self.num_tasks}")
+        if self.total_utilization <= 0:
+            raise ValueError(
+                f"total_utilization must be positive, got {self.total_utilization}"
+            )
+        if self.period_class not in PERIOD_CLASSES:
+            raise ValueError(
+                f"period_class must be one of {PERIOD_CLASSES}, "
+                f"got {self.period_class!r}"
+            )
+        if self.deadline_mode not in DEADLINE_MODES:
+            raise ValueError(
+                f"deadline_mode must be one of {DEADLINE_MODES}, "
+                f"got {self.deadline_mode!r}"
+            )
+        if not self.stage_choices or any(s < 1 for s in self.stage_choices):
+            raise ValueError(
+                f"stage_choices must be non-empty positive, got {self.stage_choices}"
+            )
+        if self.max_task_utilization <= 0:
+            raise ValueError("max_task_utilization must be positive")
+        lo, hi = self.constrained_ratio
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ValueError(
+                f"constrained_ratio must satisfy 0 < lo <= hi <= 1, "
+                f"got {self.constrained_ratio}"
+            )
+        if self.loguniform_spread < 1.0:
+            raise ValueError(
+                f"loguniform_spread must be >= 1, got {self.loguniform_spread}"
+            )
+
+    def config_dict(self) -> dict:
+        """Canonical JSON-serialisable form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SynthSpec":
+        """Inverse of :meth:`config_dict` (tuples restored from lists)."""
+        fields = dict(payload)
+        for key in ("stage_choices", "constrained_ratio"):
+            if key in fields:
+                fields[key] = tuple(fields[key])
+        return cls(**fields)

@@ -1,0 +1,117 @@
+"""Utilization-axis sweeps over synthesized workloads.
+
+The paper sweeps *task count*; on heterogeneous tasksets the natural load
+axis is the **target total utilization** — task count fixes the mix
+granularity while utilization ramps the pressure.  :func:`synth_grid`
+builds the corresponding :class:`~repro.exp.grid.GridSpec` (variant x
+task count x utilization x seed) and :func:`run_synth_sweep` executes it
+through the parallel harness, with the same sharding / caching /
+replication knobs as every other sweep.
+
+Imported separately from :mod:`repro.workloads.synth` because it depends
+on :mod:`repro.exp` (which itself depends on workloads).
+
+Example — an SGPRS-vs-naive pivot sweep over utilization::
+
+    from repro.workloads.synth.sweep import run_synth_sweep, utilization_pivots
+    result = run_synth_sweep(
+        "util_ramp", utilizations=(1.0, 2.0, 3.0), task_counts=(6,),
+        variants=("naive", "sgprs_1.5"), duration=1.5, warmup=0.5,
+    )
+    pivots = utilization_pivots(result.results)   # variant -> pivot util
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.exp.grid import GridSpec
+from repro.exp.runner import GridResult, run_grid
+from repro.workloads.scenarios import default_variants
+from repro.workloads.synth.scenarios import get_synth_scenario
+
+
+def synth_grid(
+    scenario_name: str,
+    utilizations: Sequence[float] = (),
+    task_counts: Sequence[int] = (8,),
+    variants: Optional[Sequence[str]] = None,
+    duration: float = 2.5,
+    warmup: float = 1.0,
+    seeds: Sequence[int] = (0,),
+    work_jitter_cv: float = 0.0,
+    period_class: str = "",
+    zoo_mix: str = "",
+    deadline_mode: str = "",
+) -> GridSpec:
+    """The :class:`GridSpec` of one synthesized-workload sweep.
+
+    ``scenario_name`` must be a registered synth scenario; empty-string
+    axis overrides fall back to its defaults.  An empty ``utilizations``
+    runs a single column at the scenario's default target.
+    """
+    scenario = get_synth_scenario(scenario_name)
+    return GridSpec(
+        scenario=scenario.name,
+        num_contexts=scenario.num_contexts,
+        variants=(
+            tuple(variants) if variants is not None else tuple(default_variants())
+        ),
+        task_counts=tuple(task_counts),
+        seeds=tuple(seeds),
+        duration=duration,
+        warmup=warmup,
+        work_jitter_cv=work_jitter_cv,
+        workload=scenario.name,
+        utilizations=tuple(utilizations),
+        period_class=period_class,
+        zoo_mix=zoo_mix,
+        deadline_mode=deadline_mode,
+    )
+
+
+def run_synth_sweep(
+    scenario_name: str,
+    utilizations: Sequence[float] = (),
+    task_counts: Sequence[int] = (8,),
+    variants: Optional[Sequence[str]] = None,
+    duration: float = 2.5,
+    warmup: float = 1.0,
+    seeds: Sequence[int] = (0,),
+    workers: int = 0,
+    cache_dir: Optional[Union[str, Path]] = None,
+    work_jitter_cv: float = 0.0,
+    period_class: str = "",
+    zoo_mix: str = "",
+    deadline_mode: str = "",
+) -> GridResult:
+    """Run a synthesized-workload sweep through the parallel harness."""
+    grid = synth_grid(
+        scenario_name,
+        utilizations=utilizations,
+        task_counts=task_counts,
+        variants=variants,
+        duration=duration,
+        warmup=warmup,
+        seeds=seeds,
+        work_jitter_cv=work_jitter_cv,
+        period_class=period_class,
+        zoo_mix=zoo_mix,
+        deadline_mode=deadline_mode,
+    )
+    return run_grid(grid, workers=workers, cache_dir=cache_dir)
+
+
+def utilization_pivots(
+    results, dmr_tolerance: float = 0.0
+) -> Dict[str, Optional[float]]:
+    """Per-variant pivot utilization of a sweep's results.
+
+    Thin re-export of
+    :func:`repro.analysis.pivot.utilization_pivot_table` so sweep callers
+    get pivots without importing the analysis package themselves.
+    """
+    from repro.analysis.pivot import utilization_pivot_table
+
+    return utilization_pivot_table(results, dmr_tolerance)

@@ -55,7 +55,9 @@ class TestCsv:
     def test_header_and_rows(self):
         csv = sweep_to_csv(sweep())
         lines = csv.strip().splitlines()
-        assert lines[0] == "variant,num_tasks,total_fps,dmr,utilization"
+        assert lines[0] == (
+            "variant,num_tasks,target_utilization,total_fps,dmr,utilization"
+        )
         assert len(lines) == 5
 
     def test_rows_sorted_by_task_count(self):

@@ -1,0 +1,138 @@
+"""The expanded model zoo: new builders and the registry."""
+
+import pytest
+
+from repro.dnn import (
+    build_mlp_mixer,
+    build_mobilenet_small,
+    build_resnet18,
+    build_resnet34,
+    partition_into_stages,
+)
+from repro.dnn.ops import OpType
+from repro.speedup.composite import composite_for_ops
+from repro.workloads.synth.zoo import (
+    MODEL_ZOO,
+    ZOO_MIXES,
+    get_mix,
+    get_model,
+    list_models,
+    pick_model,
+)
+
+
+class TestMobileNetBuilder:
+    def test_graph_validates(self):
+        graph = build_mobilenet_small()
+        graph.validate()
+        assert graph.name == "mobilenet_small"
+
+    def test_depthwise_cheaper_than_dense(self):
+        graph = build_mobilenet_small()
+        # a depthwise conv's FLOPs lack the in_channels factor, so every
+        # depthwise op must be far cheaper than the pointwise op that
+        # follows it at the same spatial size
+        ops = {op.name: op for op in graph.topological_order()}
+        dw = ops["block3.dw"]
+        pw = ops["block3.pw"]
+        assert dw.attribute("depthwise") is True
+        assert dw.flops < pw.flops
+
+    def test_width_multiplier_scales_flops(self):
+        slim = build_mobilenet_small(width_mult=0.5, name="slim")
+        wide = build_mobilenet_small(width_mult=2.0, name="wide")
+        assert slim.total_flops() < wide.total_flops()
+
+    def test_partitions_into_stages(self):
+        graph = build_mobilenet_small()
+        for stages in (1, 4, 8):
+            plan = partition_into_stages(graph, stages)
+            assert plan.num_stages == stages
+
+
+class TestMixerBuilder:
+    def test_graph_validates(self):
+        graph = build_mlp_mixer()
+        graph.validate()
+        assert graph.name == "mlp_mixer"
+
+    def test_all_linear_no_convs(self):
+        graph = build_mlp_mixer()
+        op_types = {op.op_type for op in graph.topological_order()}
+        assert OpType.CONV2D not in op_types
+        assert OpType.LINEAR in op_types
+        assert OpType.ADD in op_types  # residual connections
+
+    def test_token_mix_flops_are_analytic(self):
+        n, d = 32, 64
+        graph = build_mlp_mixer(num_patches=n, dim=d, depth=1)
+        ops = {op.name: op for op in graph.topological_order()}
+        assert ops["block0.token_mix"].flops == 2.0 * n * n * d
+        assert ops["block0.channel_mix"].flops == 2.0 * d * d * n
+        # far below the naive dense (n*d)^2 cost
+        assert ops["block0.token_mix"].flops < 2.0 * (n * d) ** 2 / 10
+
+    def test_partitions_and_composites(self):
+        graph = build_mlp_mixer()
+        plan = partition_into_stages(graph, 4)
+        assert plan.num_stages == 4
+        comp = composite_for_ops("mixer", list(graph.topological_order()))
+        assert comp.base_time > 0
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            build_mlp_mixer(depth=0)
+        with pytest.raises(ValueError):
+            build_mlp_mixer(num_patches=1)
+
+
+class TestDynamicRange:
+    def test_zoo_spans_flops_orders_of_magnitude(self):
+        mixer = build_mlp_mixer().total_flops()
+        mobile = build_mobilenet_small().total_flops()
+        r18 = build_resnet18().total_flops()
+        r34 = build_resnet34().total_flops()
+        assert mixer < mobile < r18 < r34
+        assert r34 / mixer > 100  # two-plus orders of dynamic range
+
+
+class TestZooRegistry:
+    def test_core_models_registered(self):
+        keys = {m.key for m in list_models()}
+        assert {
+            "resnet18",
+            "resnet34",
+            "mobilenet_small",
+            "mlp_mixer",
+            "simple_cnn",
+        } <= keys
+
+    def test_builders_match_registry_keys(self):
+        for model in list_models():
+            assert model.key in MODEL_ZOO
+            graph = model.builder()
+            graph.validate()
+
+    def test_unknown_model_and_mix_errors_name_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_model("alexnet")
+        assert "resnet18" in str(excinfo.value)
+        with pytest.raises(KeyError) as excinfo:
+            get_mix("party")
+        assert "fleet" in str(excinfo.value)
+
+    def test_mixes_reference_registered_models(self):
+        for name, mix in ZOO_MIXES.items():
+            for key, weight in mix:
+                get_model(key)
+                assert weight > 0, name
+
+    def test_pick_model_weighted_and_deterministic(self):
+        import random
+
+        picks = [pick_model("fleet", random.Random(i)) for i in range(200)]
+        assert picks == [pick_model("fleet", random.Random(i)) for i in range(200)]
+        mix_models = {key for key, _ in get_mix("fleet")}
+        assert set(picks) <= mix_models
+        # the 45%-weight model must dominate a 200-draw sample
+        assert picks.count("resnet18") > picks.count("resnet34")

@@ -1,0 +1,163 @@
+"""Synthesis axes on the experiment grid: points, hashes, worker, cache."""
+
+import pytest
+
+from repro.exp.cache import ResultCache
+from repro.exp.grid import GridPoint, GridSpec, derive_seed
+from repro.exp.worker import run_point
+from repro.workloads.synth.sweep import synth_grid
+
+
+def synth_point(**overrides):
+    fields = dict(
+        scenario="util_ramp",
+        num_contexts=2,
+        variant="sgprs_1.5",
+        num_tasks=4,
+        seed=0,
+        base_seed=0,
+        duration=0.6,
+        warmup=0.2,
+        workload="util_ramp",
+        total_utilization=1.5,
+    )
+    fields.update(overrides)
+    return GridPoint(**fields)
+
+
+class TestSynthGridPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth_point(workload="missing_scenario")
+        with pytest.raises(ValueError):
+            synth_point(period_class="weekly")
+        with pytest.raises(ValueError):
+            synth_point(deadline_mode="soft")
+        with pytest.raises(ValueError):
+            synth_point(zoo_mix="party")
+        # synthesis axes are rejected on the identical workload
+        with pytest.raises(ValueError):
+            synth_point(workload="identical")
+
+    def test_hash_sensitive_to_every_synth_axis(self):
+        base = synth_point().config_hash()
+        assert synth_point(total_utilization=2.0).config_hash() != base
+        assert synth_point(period_class="camera").config_hash() != base
+        assert synth_point(zoo_mix="edge").config_hash() != base
+        assert synth_point(deadline_mode="constrained").config_hash() != base
+        assert synth_point(workload="mixed_fleet").config_hash() != base
+
+    def test_identical_point_hash_unchanged_by_default_axes(self):
+        # the defaulted synth fields must not leak variance into
+        # identical-workload hashes
+        a = GridPoint(
+            scenario="scenario1",
+            num_contexts=2,
+            variant="naive",
+            num_tasks=2,
+            seed=0,
+        )
+        b = GridPoint(
+            scenario="scenario1",
+            num_contexts=2,
+            variant="naive",
+            num_tasks=2,
+            seed=0,
+            workload="identical",
+            total_utilization=0.0,
+        )
+        assert a.config_hash() == b.config_hash()
+
+    def test_label_shows_workload_and_utilization(self):
+        assert synth_point().label == "util_ramp/u1.5/sgprs_1.5/n4/s0"
+
+    def test_dict_roundtrip(self):
+        point = synth_point(period_class="camera", deadline_mode="constrained")
+        assert GridPoint.from_dict(point.config_dict()) == point
+
+
+class TestSynthGridSpec:
+    def test_utilization_axis_enumerates(self):
+        spec = synth_grid(
+            "util_ramp",
+            utilizations=(1.0, 2.0),
+            task_counts=(4, 6),
+            variants=("naive", "sgprs_1.5"),
+            seeds=(0, 1),
+        )
+        points = list(spec.points())
+        assert len(points) == len(spec) == 2 * 2 * 2 * 2
+        coords = [
+            (p.variant, p.num_tasks, p.total_utilization, p.base_seed)
+            for p in points
+        ]
+        expected = [
+            (variant, count, utilization, seed)
+            for variant in ("naive", "sgprs_1.5")
+            for count in (4, 6)
+            for utilization in (1.0, 2.0)
+            for seed in (0, 1)
+        ]
+        assert coords == expected
+        assert list(spec.points()) == points
+
+    def test_empty_utilizations_single_default_column(self):
+        spec = synth_grid("mixed_fleet", task_counts=(4,), variants=("naive",))
+        points = list(spec.points())
+        assert len(points) == 1
+        assert points[0].total_utilization == 0.0  # scenario default marker
+
+    def test_utilization_axis_requires_synth_workload(self):
+        with pytest.raises(ValueError):
+            GridSpec(
+                scenario="scenario1",
+                num_contexts=2,
+                variants=("naive",),
+                task_counts=(2,),
+                utilizations=(1.0,),
+            )
+
+    def test_jitter_seed_derivation_covers_utilization(self):
+        spec = synth_grid(
+            "util_ramp",
+            utilizations=(1.0, 2.0),
+            task_counts=(4,),
+            variants=("naive",),
+            work_jitter_cv=0.1,
+        )
+        points = list(spec.points())
+        assert points[0].seed != points[1].seed
+        assert points[0].seed == derive_seed(
+            0, "util_ramp", "util_ramp", "naive", 4, 1.0
+        )
+
+
+class TestSynthWorkerAndCache:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_point(synth_point())
+
+    def test_run_point_produces_sane_metrics(self, result):
+        assert result.total_fps > 0
+        assert 0.0 <= result.dmr <= 1.0
+        assert result.released >= result.completed > 0
+
+    def test_run_point_deterministic(self, result):
+        again = run_point(synth_point())
+        assert again.total_fps == result.total_fps
+        assert again.dmr == result.dmr
+        assert again.released == result.released
+
+    def test_naive_runs_monolithic_synth(self):
+        result = run_point(synth_point(variant="naive"))
+        assert result.total_fps > 0
+
+    def test_cache_roundtrip(self, result, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(result)
+        hit = cache.get(synth_point())
+        assert hit is not None
+        assert hit.point == result.point
+        assert hit.total_fps == result.total_fps
+        # a different utilization is a different cache slot
+        assert cache.get(synth_point(total_utilization=2.0)) is None

@@ -21,6 +21,88 @@ class TestParser:
         assert args.csv == "x.csv"
 
 
+class TestSweepParser:
+    def test_scenario_accepts_names(self):
+        args = build_parser().parse_args(["sweep", "--scenario", "mixed_fleet"])
+        assert args.scenario == "mixed_fleet"
+        assert build_parser().parse_args(["sweep"]).scenario == "1"
+
+    def test_axis_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--scenario",
+                "util_ramp",
+                "--tasks",
+                "4,8",
+                "--utilizations",
+                "1.0,1.5,2.0",
+                "--period-class",
+                "camera",
+                "--zoo-mix",
+                "edge",
+                "--deadline-mode",
+                "constrained",
+            ]
+        )
+        assert args.tasks == (4, 8)
+        assert args.utilizations == (1.0, 1.5, 2.0)
+        assert args.period_class == "camera"
+        assert args.zoo_mix == "edge"
+        assert args.deadline_mode == "constrained"
+
+    def test_bad_axis_values_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--tasks", "4,zero"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--utilizations", "0,-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--period-class", "weekly"])
+
+
+class TestListFlags:
+    def test_list_scenarios(self, capsys):
+        assert main(["sweep", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "scenario1",
+            "scenario2",
+            "mixed_fleet",
+            "surveillance_burst",
+            "util_ramp",
+        ):
+            assert name in out
+
+    def test_list_variants(self, capsys):
+        assert main(["sweep", "--list-variants"]) == 0
+        out = capsys.readouterr().out
+        assert "naive" in out
+        assert "sgprs_1.5" in out
+
+
+class TestSynthCommand:
+    def test_prints_taskset_and_capacity(self, capsys):
+        assert (
+            main(
+                [
+                    "synth",
+                    "--scenario",
+                    "mixed_fleet",
+                    "--tasks",
+                    "4",
+                    "--utilization",
+                    "1.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mixed_fleet" in out
+        assert "synth0_" in out
+        assert "analytic demand" in out
+        assert "naive" in out and "sgprs" in out
+
+
 class TestFig1:
     def test_prints_table(self, capsys):
         assert main(["fig1"]) == 0

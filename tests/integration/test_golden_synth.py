@@ -1,0 +1,110 @@
+"""Golden regression test for one mixed-scenario sweep point.
+
+Synthesis and simulation are deterministic at zero jitter, so one pinned
+``mixed_fleet`` point (fast tier: 4 tasks, 1.0 s horizon) must keep
+producing these exact numbers.  If a legitimate synthesis or scheduler
+change moves them, update the constants *deliberately* — the point of the
+pin is that heterogeneous-workload results can't shift silently.
+
+The structural block pins the synthesized taskset itself (models, periods,
+stage counts) at a second utilization, so a synthesis-stream change is
+caught even when the aggregate metrics happen to survive it.
+"""
+
+import pytest
+
+from repro.exp.grid import GridPoint
+from repro.exp.worker import run_point
+from repro.workloads.synth.scenarios import taskset_for_point
+
+NUM_TASKS = 4
+DURATION = 1.0
+WARMUP = 0.25
+TARGET_UTILIZATION = 2.2
+
+# pinned steady-state metrics at utilization 2.2 (overloaded: the naive
+# baseline sheds hard while SGPRS completes ~19% more frames)
+GOLDEN_NAIVE_FPS = 666.6666666666666
+GOLDEN_NAIVE_DMR = 0.4924924924924925
+GOLDEN_NAIVE_RELEASED = 893
+GOLDEN_SGPRS_FPS = 792.0
+GOLDEN_SGPRS_DMR = 0.4910941475826972
+GOLDEN_SGPRS_RELEASED = 1053
+
+# pinned taskset structure at utilization 1.5:
+# (name, period, stages, total_wcet) rounded as in taskset_signature
+GOLDEN_STRUCTURE = (
+    ("synth0_resnet18", 0.007344519987, 4, 0.004244798871),
+    ("synth1_mobilenet_small", 0.001836129997, 8, 0.000506020493),
+    ("synth2_resnet18", 0.007344519987, 6, 0.004244798871),
+    ("synth3_resnet34", 0.117512319784, 4, 0.008049604241),
+)
+
+
+def golden_point(variant, utilization=TARGET_UTILIZATION):
+    return GridPoint(
+        scenario="mixed_fleet",
+        num_contexts=2,
+        variant=variant,
+        num_tasks=NUM_TASKS,
+        seed=0,
+        base_seed=0,
+        duration=DURATION,
+        warmup=WARMUP,
+        workload="mixed_fleet",
+        total_utilization=utilization,
+    )
+
+
+@pytest.fixture(scope="module")
+def naive():
+    return run_point(golden_point("naive"))
+
+
+@pytest.fixture(scope="module")
+def sgprs():
+    return run_point(golden_point("sgprs_1.5"))
+
+
+class TestGoldenSynthPoint:
+    def test_naive_metrics_pinned(self, naive):
+        assert naive.total_fps == pytest.approx(GOLDEN_NAIVE_FPS, rel=1e-9)
+        assert naive.dmr == pytest.approx(GOLDEN_NAIVE_DMR, rel=1e-9)
+        assert naive.released == GOLDEN_NAIVE_RELEASED
+
+    def test_sgprs_metrics_pinned(self, sgprs):
+        assert sgprs.total_fps == pytest.approx(GOLDEN_SGPRS_FPS, rel=1e-9)
+        assert sgprs.dmr == pytest.approx(GOLDEN_SGPRS_DMR, rel=1e-9)
+        assert sgprs.released == GOLDEN_SGPRS_RELEASED
+
+    def test_sgprs_advantage_holds(self, naive, sgprs):
+        assert sgprs.total_fps > naive.total_fps
+        assert sgprs.dmr < naive.dmr
+
+
+class TestGoldenSynthStructure:
+    def test_taskset_structure_pinned(self):
+        tasks = taskset_for_point(
+            golden_point("sgprs_1.5", utilization=1.5), nominal_sms=34.0
+        )
+        observed = tuple(
+            (
+                task.name,
+                round(task.period, 12),
+                task.num_stages,
+                round(task.total_wcet, 12),
+            )
+            for task in tasks
+        )
+        assert observed == GOLDEN_STRUCTURE
+
+    def test_monolithic_variant_same_periods(self):
+        staged = taskset_for_point(
+            golden_point("sgprs_1.5", utilization=1.5), nominal_sms=34.0
+        )
+        mono = taskset_for_point(
+            golden_point("naive", utilization=1.5),
+            nominal_sms=34.0,
+            monolithic=True,
+        )
+        assert [t.period for t in mono] == [t.period for t in staged]

@@ -81,6 +81,45 @@ class TestCloneTask:
         assert clone.period == tasks[0].period
 
 
+class TestTemplateCacheCalibrationKeying:
+    def custom_calibration(self):
+        from repro.speedup.calibration import DeviceCalibration
+
+        # half the compute rate: visibly different WCETs from the default
+        return DeviceCalibration(compute_rate_per_sm=27.5e9)
+
+    def test_custom_calibration_never_collides_with_default(self):
+        default = identical_periodic_tasks(1, nominal_sms=34.0)
+        custom = identical_periodic_tasks(
+            1, nominal_sms=34.0, calibration=self.custom_calibration()
+        )
+        # a slower device must measure longer WCETs; an id()-keyed cache
+        # could silently serve the default entry here
+        assert custom[0].total_wcet > default[0].total_wcet
+        # and asking for the default again still returns the default
+        again = identical_periodic_tasks(1, nominal_sms=34.0)
+        assert again[0].total_wcet == default[0].total_wcet
+
+    def test_equal_valued_calibrations_share_one_template(self):
+        first = identical_periodic_tasks(
+            1, nominal_sms=34.0, calibration=self.custom_calibration()
+        )
+        second = identical_periodic_tasks(
+            1, nominal_sms=34.0, calibration=self.custom_calibration()
+        )
+        # distinct objects, equal constants -> same cached template
+        assert first[0].stages[0].composite is second[0].stages[0].composite
+
+    def test_fingerprint_distinguishes_and_matches(self):
+        from repro.speedup.calibration import DEFAULT_CALIBRATION
+
+        a = self.custom_calibration()
+        b = self.custom_calibration()
+        assert a is not b
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != DEFAULT_CALIBRATION.fingerprint
+
+
 class TestMixedTaskSet:
     def test_heterogeneous_mix(self):
         tasks = mixed_task_set(
