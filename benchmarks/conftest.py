@@ -6,17 +6,26 @@ the rows the paper reports, and appends them to ``results/bench_*.txt`` so
 the output survives pytest's capture.
 
 All benchmarks are in the ``slow`` tier (``--runslow`` to enable) and the
-sweep-shaped ones run through :mod:`repro.exp`; two environment knobs
+sweep-shaped ones run through :mod:`repro.exp`; three environment knobs
 steer that harness without touching the code:
 
 * ``REPRO_BENCH_WORKERS`` — worker processes per sweep (default 0, serial;
   results are identical either way);
 * ``REPRO_BENCH_CACHE`` — directory for the on-disk point cache (default
-  unset: every run recomputes).
+  unset: every run recomputes);
+* ``REPRO_BENCH_SHARD`` — ``i/n`` (1-based): run only the slow-tier
+  benchmarks of shard ``i`` of ``n``, so CI can split the slow tier
+  across a job matrix.  Assignment is a stable hash of each test's node
+  id — the same deterministic disjoint-exact-cover contract the sweep
+  shards have (see :mod:`repro.exp.dist`), so the ``n`` shard jobs
+  together run every slow benchmark exactly once.
 """
 
+import hashlib
 import os
 import pathlib
+
+import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -29,6 +38,47 @@ def bench_workers() -> int:
 def bench_cache_dir():
     """Result-cache directory for benchmark sweeps, or ``None``."""
     return os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+def bench_shard():
+    """The ``(i, n)`` benchmark shard from ``REPRO_BENCH_SHARD``, or
+    ``None`` when unset (run everything)."""
+    from repro.exp.dist import parse_shard
+
+    raw = os.environ.get("REPRO_BENCH_SHARD")
+    return parse_shard(raw) if raw else None
+
+
+def _shard_of(nodeid: str, count: int) -> int:
+    """Stable 1-based shard assignment of one test (process-independent,
+    unlike ``hash()``)."""
+    digest = hashlib.sha256(nodeid.encode()).digest()
+    return int.from_bytes(digest[:4], "big") % count + 1
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip slow benchmarks that belong to another ``REPRO_BENCH_SHARD``.
+
+    Only ``slow``-marked items shard — the fast-tier golden smokes run
+    in every job, so each shard still gates on the pinned points.
+    """
+    shard = bench_shard()
+    if shard is None:
+        return
+    index, count = shard
+    for item in items:
+        if "slow" not in item.keywords:
+            continue
+        assigned = _shard_of(item.nodeid, count)
+        if assigned != index:
+            item.add_marker(
+                pytest.mark.skip(
+                    reason=(
+                        f"REPRO_BENCH_SHARD: belongs to shard "
+                        f"{assigned}/{count}"
+                    )
+                )
+            )
 
 
 #: Result files already truncated this session (emit starts each file

@@ -1,0 +1,126 @@
+"""Zoo-mix x deadline-mode axis sweeps (ROADMAP open item).
+
+The synthesis subsystem (PR 2) made model mix and deadline mode sweepable
+grid axes; this benchmark actually sweeps them: every (zoo mix, deadline
+mode) cell ramps target utilization over the ``mixed_fleet`` pool and
+reports the per-variant pivot utilization — where SGPRS keeps a mix
+schedulable after the naive baseline starts missing.
+
+Each cell is its own parametrized slow-tier test, so the distributed
+benchmark knobs compose naturally:
+
+* ``REPRO_BENCH_SHARD=i/n`` splits the cells across CI jobs (node-id
+  sharding in ``benchmarks/conftest.py``);
+* ``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_CACHE`` shard/cache each
+  cell's sweep exactly like every other benchmark.
+
+The fast-tier smoke at the bottom pins one golden point per variant on
+the heavyweight/constrained cell — the axes a silent synthesis or
+scheduler change would most likely move — and runs in every tier and
+every shard.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_cache_dir, bench_workers, emit
+from repro.exp.grid import GridPoint
+from repro.exp.worker import run_point
+from repro.workloads.synth.sweep import run_synth_sweep, utilization_pivots
+
+ZOO_MIXES = ("fleet", "surveillance", "heavyweight")
+DEADLINE_MODES = ("implicit", "constrained")
+
+UTILIZATIONS = (1.0, 1.6, 2.2, 2.8)
+NUM_TASKS = 8
+DURATION = 2.0
+WARMUP = 0.5
+VARIANTS = ("naive", "sgprs_1.5")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("zoo_mix", ZOO_MIXES)
+@pytest.mark.parametrize("deadline_mode", DEADLINE_MODES)
+def test_axes_cell(zoo_mix, deadline_mode):
+    result = run_synth_sweep(
+        "mixed_fleet",
+        utilizations=UTILIZATIONS,
+        task_counts=(NUM_TASKS,),
+        variants=VARIANTS,
+        duration=DURATION,
+        warmup=WARMUP,
+        workers=bench_workers(),
+        cache_dir=bench_cache_dir(),
+        zoo_mix=zoo_mix,
+        deadline_mode=deadline_mode,
+    )
+    pivots = utilization_pivots(result.results, dmr_tolerance=0.01)
+    by_variant = {
+        variant: {
+            r.point.total_utilization: r for r in result.results
+            if r.point.variant == variant
+        }
+        for variant in VARIANTS
+    }
+    rows = "  ".join(
+        f"u{u:g}: naive={by_variant['naive'][u].dmr * 100:.0f}%/"
+        f"sgprs={by_variant['sgprs_1.5'][u].dmr * 100:.0f}%"
+        for u in UTILIZATIONS
+    )
+    emit(
+        "bench_synth_axes.txt",
+        f"{zoo_mix}/{deadline_mode} @{NUM_TASKS} tasks dmr by target "
+        f"utilization: {rows}  pivots: "
+        + ", ".join(f"{k}={v}" for k, v in pivots.items()),
+    )
+    # the load axis must bite: the overloaded end misses more than the
+    # underloaded end for the baseline
+    naive = by_variant["naive"]
+    assert naive[UTILIZATIONS[-1]].dmr >= naive[UTILIZATIONS[0]].dmr
+    # and every cell produced the full grid
+    assert len(result.results) == len(VARIANTS) * len(UTILIZATIONS)
+
+
+# ---------------------------------------------------------------------------
+# Fast-tier golden smoke: one pinned point per variant on the
+# heavyweight/constrained cell.  Deterministic at zero jitter — if a
+# legitimate synthesis/scheduler change moves these, update them
+# *deliberately* (see tests/integration/test_golden_synth.py).
+
+SMOKE_UTILIZATION = 2.0
+GOLDEN_NAIVE_FPS = 138.66666666666666
+GOLDEN_NAIVE_DMR = 0.8658536585365854
+GOLDEN_NAIVE_RELEASED = 224
+GOLDEN_SGPRS_FPS = 230.66666666666666
+GOLDEN_SGPRS_DMR = 0.9187817258883249
+GOLDEN_SGPRS_RELEASED = 266
+
+
+def smoke_point(variant):
+    return GridPoint(
+        scenario="mixed_fleet",
+        num_contexts=2,
+        variant=variant,
+        num_tasks=4,
+        seed=0,
+        base_seed=0,
+        duration=1.0,
+        warmup=0.25,
+        workload="mixed_fleet",
+        total_utilization=SMOKE_UTILIZATION,
+        zoo_mix="heavyweight",
+        deadline_mode="constrained",
+    )
+
+
+def test_axes_golden_smoke():
+    naive = run_point(smoke_point("naive"))
+    sgprs = run_point(smoke_point("sgprs_1.5"))
+    assert naive.total_fps == pytest.approx(GOLDEN_NAIVE_FPS, rel=1e-9)
+    assert naive.dmr == pytest.approx(GOLDEN_NAIVE_DMR, rel=1e-9)
+    assert naive.released == GOLDEN_NAIVE_RELEASED
+    assert sgprs.total_fps == pytest.approx(GOLDEN_SGPRS_FPS, rel=1e-9)
+    assert sgprs.dmr == pytest.approx(GOLDEN_SGPRS_DMR, rel=1e-9)
+    assert sgprs.released == GOLDEN_SGPRS_RELEASED
+    # the headline ordering the axes sweep quantifies: under heavyweight
+    # overload SGPRS completes substantially more frames
+    assert sgprs.total_fps > 1.5 * naive.total_fps

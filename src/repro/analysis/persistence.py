@@ -12,18 +12,26 @@ Two document shapes exist:
   :class:`~repro.exp.grid.GridSpec` plus every per-seed
   :class:`~repro.exp.worker.PointResult`, so aggregation (mean/CI) can be
   redone offline without re-simulating.
+
+Grid documents additionally record the device-calibration fingerprint
+they were computed under, and :func:`merge_grid_dicts` — the engine of
+``python -m repro merge`` — refuses to combine documents whose format
+versions or calibration fingerprints differ, or whose duplicate points
+disagree: partial shard outputs merge into one canonical grid or fail
+loudly, never silently concatenate.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Sequence, Union
 
 from repro.exp.grid import GridSpec
 from repro.exp.runner import GridResult
 from repro.exp.worker import PointResult
+from repro.speedup.calibration import DEFAULT_CALIBRATION
 from repro.workloads.scenarios import SweepPoint
 
 FORMAT_VERSION = 1
@@ -101,9 +109,21 @@ def load_sweep(path: Union[str, Path]) -> Dict[str, List[SweepPoint]]:
 
 
 def grid_to_dict(result: GridResult) -> dict:
-    """Serialisable representation of a full grid run (per-seed points)."""
+    """Serialisable representation of a grid run (per-seed points).
+
+    Partial results (a shard's or claim worker's slice) serialise the
+    same way — the document's spec still describes the whole grid, and
+    ``points`` holds whatever slice was computed; :func:`merge_grid_dicts`
+    reassembles the whole.  The calibration fingerprint is recorded so
+    merges can refuse to mix cost models: the ambient calibration for
+    fresh runs, or the result's own provenance
+    (:attr:`GridResult.calibration`) when it carries one — a merged
+    document keeps its *inputs'* validated fingerprint even when
+    persisted on a host whose ambient calibration differs.
+    """
     return {
         "version": GRID_FORMAT_VERSION,
+        "calibration": result.calibration or DEFAULT_CALIBRATION.digest,
         "spec": asdict(result.spec),
         "points": [point.to_dict() for point in result.results],
     }
@@ -127,6 +147,106 @@ def grid_from_dict(payload: dict) -> GridResult:
     return GridResult(
         spec=GridSpec(**spec_fields),
         results=[PointResult.from_dict(row) for row in payload["points"]],
+    )
+
+
+def _result_identity(result: PointResult) -> str:
+    """Canonical value identity of a result — everything but ``elapsed``,
+    which is wall-clock provenance and legitimately differs between the
+    two computations of one double-run point."""
+    return json.dumps(
+        replace(result, elapsed=0.0).to_dict(), sort_keys=True
+    )
+
+
+def merge_grid_dicts(
+    payloads: Sequence[dict], allow_partial: bool = False
+) -> GridResult:
+    """Merge grid documents (shard outputs, claim-run exports) into one.
+
+    Validation, in order; each failure raises ``ValueError``:
+
+    * every document must carry the same, readable format version;
+    * calibration fingerprints, where recorded, must agree;
+    * every document must describe the same :class:`GridSpec`;
+    * a point appearing in several documents must carry identical
+      results (a conflicting duplicate means the inputs do not belong to
+      one run — different code, calibration, or a corrupted file);
+    * every result must belong to the spec's grid (no stray points);
+    * coverage must be complete unless ``allow_partial``.
+
+    Returns the merged :class:`GridResult` in canonical grid order (the
+    present subset, when partial).
+    """
+    if not payloads:
+        raise ValueError("nothing to merge: no grid documents given")
+    versions = sorted({p.get("version") for p in payloads}, key=repr)
+    if len(versions) > 1:
+        raise ValueError(
+            f"refusing to merge grid documents with mixed format "
+            f"versions: {versions}"
+        )
+    if versions[0] not in _READABLE_GRID_VERSIONS:
+        raise ValueError(f"unsupported grid format version: {versions[0]!r}")
+    calibrations = sorted(
+        {p["calibration"] for p in payloads if p.get("calibration")}
+    )
+    if len(calibrations) > 1:
+        raise ValueError(
+            "refusing to merge grid documents computed under different "
+            "device calibrations (fingerprints "
+            + ", ".join(f"{c[:12]}…" for c in calibrations)
+            + ")"
+        )
+    grids = []
+    for payload in payloads:
+        try:
+            grids.append(grid_from_dict(payload))
+        except (KeyError, TypeError) as error:
+            raise ValueError(
+                f"not a grid document (missing or invalid field: {error})"
+            ) from None
+    spec = grids[0].spec
+    for grid in grids[1:]:
+        if grid.spec != spec:
+            raise ValueError(
+                "refusing to merge grid documents describing different "
+                f"grids: {asdict(spec)} vs {asdict(grid.spec)}"
+            )
+    merged: Dict[str, PointResult] = {}
+    for grid in grids:
+        for result in grid.results:
+            key = result.point.config_hash()
+            previous = merged.get(key)
+            if previous is None:
+                merged[key] = result
+            elif _result_identity(previous) != _result_identity(result):
+                raise ValueError(
+                    f"conflicting duplicate results for point "
+                    f"{result.point.label}: the documents do not come "
+                    f"from one run"
+                )
+    hashes = [point.config_hash() for point in spec.points()]
+    stray = sorted(set(merged) - set(hashes))
+    if stray:
+        raise ValueError(
+            f"{len(stray)} merged point(s) do not belong to the spec's "
+            f"grid (first hash: {stray[0][:12]}…)"
+        )
+    results = [merged[key] for key in hashes if key in merged]
+    missing = len(hashes) - len(results)
+    if missing and not allow_partial:
+        raise ValueError(
+            f"merged documents cover only {len(results)} of {len(hashes)} "
+            f"grid points; run the missing shards/workers or pass "
+            f"allow_partial"
+        )
+    return GridResult(
+        spec=spec,
+        results=results,
+        # carry the validated input fingerprint so persisting the merge
+        # elsewhere does not re-label it with that host's calibration
+        calibration=calibrations[0] if calibrations else None,
     )
 
 

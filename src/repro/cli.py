@@ -19,6 +19,12 @@ Usage::
     python -m repro sweep --scenario util_ramp --utilizations 1.0,1.5,2.0
     python -m repro synth --scenario surveillance_burst --tasks 8
 
+    # distributed execution (repro.exp.dist): shard / claim / merge
+    python -m repro sweep --scenario 1 --shard 2/8 --out shard2.json
+    python -m repro sweep --scenario 1 --claim --heartbeat 30
+    python -m repro sweep --resume RUN_ID
+    python -m repro merge .repro-runs/RUN_ID --out grid.json
+
 ``--fast`` shrinks the task grid and simulation horizon for a quick look;
 the benchmark harness under ``benchmarks/`` runs the full-fidelity version.
 ``sweep`` runs the same grids through :func:`repro.exp.runner.run_grid`:
@@ -31,12 +37,26 @@ scenarios accept a ``--utilizations`` axis plus ``--period-class`` /
 ``--zoo-mix`` / ``--deadline-mode`` overrides.  ``synth`` synthesizes one
 taskset and prints its composition and analytic capacity estimates
 without running a sweep.
+
+Distributed sweeps (see :mod:`repro.exp.dist` for the protocol):
+``--shard I/N`` statically evaluates round-robin shard I of N — run the N
+shards anywhere, collect their ``--out`` JSONs, and ``merge`` them.
+``--claim`` dynamically partitions a *run directory* shared by any number
+of concurrent workers (``--run-dir``, defaulting to
+``<--runs-root>/<run id>``): each pending point is atomically claimed
+before being computed, a crashed worker's claims go stale after
+``--heartbeat`` seconds and are re-claimed, and every completed point is
+checkpointed so ``--resume RUN`` (a run id or directory) recomputes only
+what is missing.  ``merge`` assembles run directories and/or grid JSONs
+into one canonical grid, refusing mixed schema versions, mixed
+calibration fingerprints and conflicting duplicates.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.pivot import pivot_table, utilization_pivot_table
@@ -142,10 +162,161 @@ def _sweep(args: argparse.Namespace) -> None:
     if args.list_variants:
         _print_variants()
         return
+    if args.resume:
+        _sweep_resume(args)
+        return
     if args.scenario in PAPER_SCENARIOS:
         _sweep_paper(PAPER_SCENARIOS[args.scenario], args)
     else:
         _sweep_synth(args)
+
+
+def _default_run_dir(args: argparse.Namespace, grid) -> Optional[str]:
+    """The shared run directory this invocation should use, if any."""
+    if args.run_dir:
+        return args.run_dir
+    if args.claim:
+        from repro.exp.dist import run_id_for
+
+        return str(Path(args.runs_root) / run_id_for(grid))
+    return None
+
+
+def _run_spec(grid, args: argparse.Namespace, run_dir: Optional[str] = None):
+    """Execute a grid honouring the cache/shard/claim/run-dir flags."""
+    if run_dir is None:
+        run_dir = _default_run_dir(args, grid)
+    cache_dir = args.cache_dir
+    claim_config = None
+    manifest = None
+    if run_dir is not None:
+        from repro.exp.dist import ClaimConfig, default_owner, init_run
+
+        if args.cache_dir:
+            # silently preferring one cache over the other would either
+            # ignore a warm cache or split checkpoints across two
+            # directories — refuse instead
+            raise SystemExit(
+                "--cache-dir conflicts with --run-dir/--claim/--resume: "
+                "a run directory keeps its checkpoints in its own cache/ "
+                "subdirectory"
+            )
+        try:
+            manifest = init_run(run_dir, grid)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        cache_dir = Path(run_dir) / "cache"
+        if args.claim:
+            claim_config = ClaimConfig(
+                run_dir=run_dir,
+                owner=args.owner or default_owner(),
+                ttl=args.heartbeat,
+            )
+    result = run_grid(
+        grid,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        shard=args.shard,
+        claim=claim_config,
+    )
+    if manifest is not None:
+        print(
+            f"run {manifest.run_id} at {run_dir} "
+            f"(resume with: python -m repro sweep --resume {run_dir})"
+        )
+    return result
+
+
+def _run_summary(result, args: argparse.Namespace) -> str:
+    """The `N points in T s (...)` fragment of the sweep banner."""
+    parts = [
+        f"{len(result.results)} points in {result.elapsed:.2f}s",
+        f"({result.cache_hits} cached, {result.cache_misses} computed",
+    ]
+    summary = f"{parts[0]} {parts[1]}"
+    if result.skipped:
+        summary += f", {result.skipped} claimed elsewhere"
+    return summary + f", workers={args.workers})"
+
+
+def _sweep_resume(args: argparse.Namespace) -> None:
+    """Re-run the pending points of an existing run directory."""
+    from repro.exp.dist import MANIFEST_NAME, load_manifest
+
+    run_dir = Path(args.resume)
+    if not (run_dir / MANIFEST_NAME).exists():
+        run_dir = Path(args.runs_root) / args.resume
+    try:
+        manifest = load_manifest(run_dir)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    result = _run_spec(manifest.spec, args, run_dir=str(run_dir))
+    print(
+        f"resumed sweep {manifest.spec.scenario}: "
+        f"{_run_summary(result, args)}"
+    )
+    _print_count_tables(result, len(manifest.spec.seeds))
+    _export(result, args)
+
+
+def _merge(args: argparse.Namespace) -> None:
+    """Merge run directories and/or grid JSONs into one canonical grid."""
+    import json
+
+    from repro.analysis.persistence import merge_grid_dicts, save_grid
+    from repro.analysis.report import sweep_to_csv
+    from repro.exp.dist import MANIFEST_NAME, run_payload
+
+    def load_document(file):
+        try:
+            with open(file) as handle:
+                return json.load(handle)
+        except ValueError as error:
+            raise SystemExit(f"{file}: not valid JSON ({error})") from None
+
+    payloads = []
+    sources = []
+    for raw in args.inputs:
+        path = Path(raw)
+        if path.is_dir() and (path / MANIFEST_NAME).exists():
+            # always read run directories permissively: coverage is
+            # validated on the *combined* inputs below, so a partial run
+            # dir plus the shard JSONs that complete it merges cleanly
+            try:
+                payloads.append(run_payload(path, allow_partial=True))
+            except ValueError as error:
+                raise SystemExit(str(error)) from None
+            sources.append(str(path))
+        elif path.is_dir():
+            files = sorted(path.glob("*.json"))
+            if not files:
+                raise SystemExit(f"{path}: no grid JSON documents found")
+            for file in files:
+                payloads.append(load_document(file))
+                sources.append(str(file))
+        elif path.is_file():
+            payloads.append(load_document(path))
+            sources.append(str(path))
+        else:
+            raise SystemExit(f"{path}: no such file or directory")
+    try:
+        merged = merge_grid_dicts(payloads, allow_partial=args.allow_partial)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    total = len(merged.spec)
+    print(
+        f"merged {len(merged.results)} of {total} grid points from "
+        f"{len(sources)} document(s)"
+    )
+    if len(merged.results) < total:
+        print(f"({total - len(merged.results)} points still missing)")
+    if args.out:
+        save_grid(merged, args.out)
+        print(f"grid JSON written to {args.out}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(sweep_to_csv(merged.sweep()))
+        print(f"CSV written to {args.csv}")
 
 
 def _sweep_paper(scenario: Scenario, args: argparse.Namespace) -> None:
@@ -162,8 +333,8 @@ def _sweep_paper(scenario: Scenario, args: argparse.Namespace) -> None:
             f"(see --list-scenarios), not {scenario.name!r}"
         )
     counts = args.tasks or (FAST_TASK_COUNTS if args.fast else FULL_TASK_COUNTS)
-    duration = 2.5 if args.fast else 6.0
-    warmup = 1.0 if args.fast else 1.5
+    duration = args.duration or (2.5 if args.fast else 6.0)
+    warmup = args.warmup or (1.0 if args.fast else 1.5)
     grid = scenario_grid(
         scenario,
         sorted(counts),
@@ -172,14 +343,12 @@ def _sweep_paper(scenario: Scenario, args: argparse.Namespace) -> None:
         seeds=tuple(range(args.seeds)),
         work_jitter_cv=args.jitter_cv,
     )
-    result = run_grid(grid, workers=args.workers, cache_dir=args.cache_dir)
+    result = _run_spec(grid, args)
     print(
         f"sweep {scenario.name} ({scenario.num_contexts} contexts): "
-        f"{len(result.results)} points in {result.elapsed:.2f}s "
-        f"({result.cache_hits} cached, {result.cache_misses} computed, "
-        f"workers={args.workers})"
+        f"{_run_summary(result, args)}"
     )
-    _print_count_tables(result, args)
+    _print_count_tables(result, args.seeds)
     _export(result, args)
 
 
@@ -191,8 +360,8 @@ def _sweep_synth(args: argparse.Namespace) -> None:
     counts = args.tasks or (
         SYNTH_FAST_TASK_COUNTS if args.fast else SYNTH_FULL_TASK_COUNTS
     )
-    duration = 1.5 if args.fast else 4.0
-    warmup = 0.5 if args.fast else 1.0
+    duration = args.duration or (1.5 if args.fast else 4.0)
+    warmup = args.warmup or (0.5 if args.fast else 1.0)
     grid = synth_grid(
         scenario.name,
         utilizations=args.utilizations or (),
@@ -205,13 +374,11 @@ def _sweep_synth(args: argparse.Namespace) -> None:
         zoo_mix=args.zoo_mix,
         deadline_mode=args.deadline_mode,
     )
-    result = run_grid(grid, workers=args.workers, cache_dir=args.cache_dir)
+    result = _run_spec(grid, args)
     print(
         f"sweep {scenario.name} ({scenario.num_contexts} contexts, "
         f"mix={args.zoo_mix or scenario.zoo_mix}): "
-        f"{len(result.results)} points in {result.elapsed:.2f}s "
-        f"({result.cache_hits} cached, {result.cache_misses} computed, "
-        f"workers={args.workers})"
+        f"{_run_summary(result, args)}"
     )
     if args.utilizations and len(args.utilizations) > 1:
         aggregates = result.aggregate()
@@ -227,19 +394,22 @@ def _sweep_synth(args: argparse.Namespace) -> None:
         for variant, pivot in utilization_pivot_table(result.results).items():
             print(f"  {variant}: {pivot}")
     else:
-        _print_count_tables(result, args)
+        _print_count_tables(result, args.seeds)
     _export(result, args)
 
 
-def _print_count_tables(result, args: argparse.Namespace) -> None:
+def _print_count_tables(result, seeds: int) -> None:
     """The classic task-count-axis tables (seed means or mean±ci95)."""
-    if args.seeds > 1:
+    if not result.results:
+        print("(no points computed by this worker yet)")
+        return
+    if seeds > 1:
         aggregates = result.aggregate()
         print(
             render_aggregate_table(
                 aggregates,
                 "total_fps",
-                title=f"total FPS, mean±ci95 over {args.seeds} seeds",
+                title=f"total FPS, mean±ci95 over {seeds} seeds",
             )
         )
         print()
@@ -247,7 +417,7 @@ def _print_count_tables(result, args: argparse.Namespace) -> None:
             render_aggregate_table(
                 aggregates,
                 "dmr",
-                title=f"deadline miss rate, mean±ci95 over {args.seeds} seeds",
+                title=f"deadline miss rate, mean±ci95 over {seeds} seeds",
             )
         )
     else:
@@ -321,6 +491,23 @@ def _nonnegative_int(value: str) -> int:
     if number < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {number}")
     return number
+
+
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {number}")
+    return number
+
+
+def _shard_spec(value: str) -> tuple:
+    """A shard spec ``i/n`` (1-based), e.g. ``2/8``."""
+    from repro.exp.dist import parse_shard
+
+    try:
+        return parse_shard(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _jitter_cv(value: str) -> float:
@@ -466,6 +653,114 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the full per-seed grid result to this JSON file",
     )
+    sweep.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=None,
+        help="override the simulated horizon per point (seconds)",
+    )
+    sweep.add_argument(
+        "--warmup",
+        type=_positive_float,
+        default=None,
+        help="override the per-point warmup window (seconds)",
+    )
+    dist = sweep.add_argument_group(
+        "distributed execution",
+        "shard/claim/merge protocol over a shared directory "
+        "(see repro.exp.dist)",
+    )
+    dist.add_argument(
+        "--shard",
+        type=_shard_spec,
+        default=None,
+        metavar="I/N",
+        help=(
+            "evaluate only deterministic round-robin shard I of N "
+            "(1-based); merge the N outputs with `repro merge`"
+        ),
+    )
+    dist.add_argument(
+        "--claim",
+        action="store_true",
+        help=(
+            "atomically claim pending points through the shared run "
+            "directory so concurrent workers (any host) split the grid "
+            "dynamically; crashed workers' points are re-claimed after "
+            "the heartbeat TTL"
+        ),
+    )
+    from repro.exp.dist import DEFAULT_TTL
+
+    dist.add_argument(
+        "--heartbeat",
+        type=_positive_float,
+        default=DEFAULT_TTL,
+        metavar="SECONDS",
+        help=(
+            f"claim time-to-live: a claim older than this is presumed "
+            f"abandoned and stolen (default {DEFAULT_TTL:g}; keep it "
+            f"above the cost of the slowest single point)"
+        ),
+    )
+    dist.add_argument(
+        "--owner",
+        default=None,
+        help="claim-owner id (default: <hostname>-<pid>)",
+    )
+    dist.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "shared run directory (manifest + claims + cache); created "
+            "on first use, validated against the grid afterwards"
+        ),
+    )
+    dist.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN",
+        help=(
+            "resume an interrupted run by id (under --runs-root) or by "
+            "run-directory path; only missing points are recomputed"
+        ),
+    )
+    dist.add_argument(
+        "--runs-root",
+        default=".repro-runs",
+        help="where implicit run directories live (default: .repro-runs)",
+    )
+    merge = commands.add_parser(
+        "merge",
+        help=(
+            "merge shard outputs / run directories into one canonical "
+            "grid JSON"
+        ),
+    )
+    merge.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="PATH",
+        help=(
+            "run directories, grid JSON files, or directories of grid "
+            "JSON files"
+        ),
+    )
+    merge.add_argument(
+        "--out",
+        default=None,
+        help="write the merged grid document to this JSON file",
+    )
+    merge.add_argument(
+        "--csv",
+        default=None,
+        help="also write the merged sweep as CSV",
+    )
+    merge.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="accept incomplete coverage (merge whatever points exist)",
+    )
     synth = commands.add_parser(
         "synth",
         help="synthesize one heterogeneous taskset and print its composition",
@@ -519,6 +814,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _scenario(SCENARIO_2, "Fig. 4", args)
     if args.figure == "sweep":
         _sweep(args)
+    if args.figure == "merge":
+        _merge(args)
     if args.figure == "synth":
         _synth(args)
     return 0

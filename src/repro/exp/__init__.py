@@ -15,10 +15,15 @@ that grid into a first-class object:
   ``multiprocessing`` sweep runner (``workers=0`` runs serially and
   bit-identically to the parallel path);
 * :mod:`repro.exp.aggregate` — seed-replication statistics (mean and 95%
-  confidence intervals over >= 3 seeds).
+  confidence intervals over >= 3 seeds);
+* :mod:`repro.exp.dist` — distributed, resumable execution over a shared
+  directory: deterministic shard partitions, an atomic claim/heartbeat
+  protocol for dynamic multi-host partitioning with crash recovery, and
+  the merge step that reassembles one canonical grid.
 
 Figures 1/3/4 and the ablation all run on top of this harness; the CLI
-front-end is ``python -m repro sweep`` and the compatibility wrapper is
+front-end is ``python -m repro sweep`` / ``python -m repro merge`` and
+the compatibility wrapper is
 :func:`repro.workloads.scenarios.run_scenario_sweep`.
 """
 
@@ -33,19 +38,43 @@ from repro.exp.grid import (
 )
 from repro.exp.runner import GridResult, run_grid
 from repro.exp.worker import PointResult, run_point
+from repro.exp.dist import (
+    ClaimBoard,
+    ClaimConfig,
+    RunManifest,
+    default_owner,
+    init_run,
+    load_manifest,
+    merge_run,
+    parse_shard,
+    pending_points,
+    run_dist_worker,
+    run_id_for,
+)
 
 __all__ = [
     "AggregatePoint",
+    "ClaimBoard",
+    "ClaimConfig",
     "GridPoint",
     "GridResult",
     "GridSpec",
     "PointResult",
     "ResultCache",
+    "RunManifest",
     "aggregate_results",
+    "default_owner",
     "derive_seed",
+    "init_run",
+    "load_manifest",
+    "merge_run",
+    "parse_shard",
+    "pending_points",
     "register_variant",
     "resolve_variant",
+    "run_dist_worker",
     "run_grid",
+    "run_id_for",
     "run_point",
     "to_sweep",
 ]

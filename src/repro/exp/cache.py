@@ -39,6 +39,12 @@ class ResultCache:
         """The cache file a point maps to."""
         return self.root / f"{point.config_hash()}.json"
 
+    def contains(self, point: GridPoint) -> bool:
+        """Whether a file exists for ``point`` (no parse, no hit/miss
+        accounting) — the cheap pending-point check the distributed layer
+        uses; a subsequent :meth:`get` still validates the contents."""
+        return self.path_for(point).exists()
+
     def get(self, point: GridPoint) -> Optional[PointResult]:
         """Return the cached result for ``point``, or ``None`` on a miss."""
         path = self.path_for(point)

@@ -1,0 +1,500 @@
+"""Distributed, resumable sweep execution over a shared directory.
+
+Large grids are embarrassingly parallel over points; what N workers on M
+hosts need is not compute but *coordination*: carve up one grid without
+double-running points, survive crashes, and merge into one canonical
+result set.  This module provides that coordination using nothing but a
+directory every worker can reach (NFS, a shared bind-mount, or one
+host's disk for same-machine workers).
+
+Run-directory layout
+--------------------
+::
+
+    <run_dir>/
+      manifest.json   grid spec + schema/format versions + calibration
+      cache/          one JSON per completed point (repro.exp.cache)
+      claims/         <config-hash>.claim ownership markers
+
+Protocol
+--------
+* **Shard mode** needs no coordination at all: worker ``i`` of ``n``
+  evaluates the deterministic round-robin slice
+  :meth:`~repro.exp.grid.GridSpec.shard`; the ``n`` shards are a
+  disjoint exact cover of the grid.
+* **Claim mode** coordinates through the filesystem: a worker owns a
+  point iff it created ``claims/<hash>.claim`` with
+  ``os.O_CREAT | os.O_EXCL`` (atomic on POSIX).  The claim records the
+  owner and a heartbeat timestamp; a claim whose heartbeat is older than
+  the TTL is *stale* — its worker is presumed dead — and may be stolen.
+  Stealing is single-winner: the stealer first ``os.rename``-s the stale
+  claim to a unique tombstone (exactly one concurrent renamer can win,
+  rename is atomic), then re-creates the claim through the same
+  ``O_EXCL`` gate, where it may still lose to a concurrent fresh
+  claimer.  Fresh claims therefore never have two owners.
+* **Completion** is recorded by the :class:`~repro.exp.cache.ResultCache`
+  checkpoint (atomic write), never by the claim file, so every finished
+  point survives any crash and an interrupted sweep is resumable: a
+  re-run (``--resume``) recomputes only the missing points.  A worker
+  that outlives its TTL and completes anyway merely double-computes a
+  point — every point is a pure function of its coordinates, so the
+  duplicate writes identical bits.
+* **Merge** (:func:`merge_run`, or
+  :func:`repro.analysis.persistence.merge_grid_dicts` for per-shard grid
+  JSONs) reassembles one canonical grid in grid order, refusing mixed
+  schema versions, mixed calibration fingerprints, incomplete coverage
+  (unless asked) and conflicting duplicate results.
+
+Claiming is lazy: a worker holds at most one compute-wave of claims at
+a time (``max(workers, 1)`` points — see
+:func:`repro.exp.runner.run_grid`), so late-joining workers immediately
+find unclaimed work.  Choose the TTL (``--heartbeat``) comfortably
+above the cost of the slowest single point: the heartbeat is stamped
+when a point is claimed, workers cannot refresh it mid-simulation, and
+a wave's points compute concurrently, so one point's cost bounds how
+long any claim goes un-refreshed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import socket
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.exp.cache import ResultCache
+from repro.exp.grid import SCHEMA_VERSION, GridPoint, GridSpec
+from repro.exp.worker import run_point
+
+#: Default claim time-to-live in seconds; a claim not refreshed within
+#: this window is presumed abandoned and may be stolen.
+DEFAULT_TTL = 300.0
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
+
+CACHE_SUBDIR = "cache"
+CLAIMS_SUBDIR = "claims"
+
+
+def default_owner() -> str:
+    """A claim-owner id unique per worker process: ``<host>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a CLI shard spec ``"i/n"`` into a 1-based ``(i, n)`` pair."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"expected a shard spec like 2/8, got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index must be in [1, {count}]: {text!r}")
+    return index, count
+
+
+def _calibration_digest() -> str:
+    """The ambient device calibration's digest (what workers will use)."""
+    from repro.speedup.calibration import DEFAULT_CALIBRATION
+
+    return DEFAULT_CALIBRATION.digest
+
+
+def run_id_for(spec: GridSpec) -> str:
+    """Deterministic run id of a grid: same spec (under the same schema
+    and calibration) always maps to the same id, so re-launching a sweep
+    lands in the same run directory and resumes it."""
+    blob = json.dumps(
+        {
+            "spec": asdict(spec),
+            "schema_version": SCHEMA_VERSION,
+            "calibration": _calibration_digest(),
+        },
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The identity record of one distributed run (``manifest.json``).
+
+    Written once at :func:`init_run`; every later worker validates its
+    own spec/schema/calibration against it, so two hosts can never push
+    incompatible results into one run directory.
+    """
+
+    run_id: str
+    spec: GridSpec
+    schema_version: int = SCHEMA_VERSION
+    calibration: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "run_id": self.run_id,
+            "schema_version": self.schema_version,
+            "calibration": self.calibration,
+            "spec": asdict(self.spec),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        if payload.get("format") != MANIFEST_FORMAT:
+            raise ValueError(
+                f"unsupported manifest format: {payload.get('format')!r}"
+            )
+        spec_fields = dict(payload["spec"])
+        for key in ("variants", "task_counts", "seeds", "utilizations"):
+            if key in spec_fields:
+                spec_fields[key] = tuple(spec_fields[key])
+        return cls(
+            run_id=payload["run_id"],
+            spec=GridSpec(**spec_fields),
+            schema_version=payload["schema_version"],
+            calibration=payload.get("calibration", ""),
+        )
+
+
+def _manifest_path(run_dir: Union[str, Path]) -> Path:
+    return Path(run_dir) / MANIFEST_NAME
+
+
+def load_manifest(run_dir: Union[str, Path]) -> RunManifest:
+    """Read and validate the manifest of an existing run directory."""
+    path = _manifest_path(run_dir)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ValueError(
+            f"{run_dir} is not a run directory (no readable {MANIFEST_NAME}): "
+            f"{error}"
+        ) from None
+    except ValueError as error:
+        raise ValueError(f"corrupt manifest at {path}: {error}") from None
+    return RunManifest.from_dict(payload)
+
+
+def init_run(run_dir: Union[str, Path], spec: GridSpec) -> RunManifest:
+    """Create (or join) a run directory for ``spec``.
+
+    Idempotent and race-safe: the first worker writes the manifest via an
+    exclusive create; every other worker — including one racing the first
+    — loads it and verifies it describes the *same* grid under the same
+    schema version and calibration.  A mismatch raises ``ValueError``
+    rather than letting two different sweeps interleave in one directory.
+    """
+    run_dir = Path(run_dir)
+    (run_dir / CACHE_SUBDIR).mkdir(parents=True, exist_ok=True)
+    (run_dir / CLAIMS_SUBDIR).mkdir(parents=True, exist_ok=True)
+    manifest = RunManifest(
+        run_id=run_id_for(spec), spec=spec, calibration=_calibration_digest()
+    )
+    path = _manifest_path(run_dir)
+    # Publish atomically: write the full document to a temp file, then
+    # link it into place.  link() is exclusive-or-fail like O_EXCL but
+    # the manifest is complete the instant it appears, so a racing
+    # second worker can never read a half-written file.
+    fd, tmp = tempfile.mkstemp(dir=run_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(manifest.to_dict(), handle, indent=1)
+        os.link(tmp, path)
+    except FileExistsError:
+        existing = load_manifest(run_dir)
+        if asdict(existing.spec) != asdict(spec):
+            raise ValueError(
+                f"{run_dir} already holds run {existing.run_id} over a "
+                f"different grid; use a fresh --run-dir"
+            )
+        if existing.schema_version != SCHEMA_VERSION:
+            raise ValueError(
+                f"{run_dir} was created under point-schema "
+                f"v{existing.schema_version}, this build uses "
+                f"v{SCHEMA_VERSION}; results must not mix"
+            )
+        if existing.calibration and existing.calibration != manifest.calibration:
+            raise ValueError(
+                f"{run_dir} was created under a different device "
+                f"calibration (fingerprint {existing.calibration[:12]}… vs "
+                f"{manifest.calibration[:12]}…); results must not mix"
+            )
+        return existing
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    return manifest
+
+
+@dataclass(frozen=True)
+class ClaimConfig:
+    """How a :func:`repro.exp.runner.run_grid` call should claim points."""
+
+    run_dir: Union[str, Path]
+    owner: str
+    ttl: float = DEFAULT_TTL
+    clock: Callable[[], float] = time.time
+
+
+class ClaimBoard:
+    """Atomic per-point ownership over ``<run_dir>/claims``.
+
+    One instance per worker; ``owner`` must be unique per worker process
+    (see :func:`default_owner`).  All methods take a
+    :class:`~repro.exp.grid.GridPoint` and address its claim file by
+    config hash.  ``clock`` is injectable so staleness is testable
+    without sleeping.
+    """
+
+    def __init__(
+        self,
+        run_dir: Union[str, Path],
+        owner: str,
+        ttl: float = DEFAULT_TTL,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.claims_dir = Path(run_dir) / CLAIMS_SUBDIR
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        self.owner = owner
+        self.ttl = ttl
+        self.clock = clock
+        self._nonce = itertools.count()
+
+    def _path(self, point: GridPoint) -> Path:
+        return self.claims_dir / f"{point.config_hash()}.claim"
+
+    def _create(self, path: Path) -> bool:
+        """Exclusive-create a claim stamped with our heartbeat."""
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            json.dump({"owner": self.owner, "heartbeat": self.clock()}, handle)
+        return True
+
+    def _read(self, path: Path) -> Optional[Tuple[str, float]]:
+        """(owner, heartbeat) of a claim, or ``None`` if it vanished.
+
+        A claim caught mid-write (created but not yet stamped) falls back
+        to the file's mtime with an unknown owner — still good enough to
+        judge staleness.
+        """
+        try:
+            with open(path) as handle:
+                info = json.load(handle)
+            return str(info["owner"]), float(info["heartbeat"])
+        except (ValueError, KeyError, TypeError):
+            pass
+        except OSError:
+            return None
+        try:
+            return "", os.path.getmtime(path)
+        except OSError:
+            return None
+
+    def try_claim(self, point: GridPoint) -> bool:
+        """Attempt to become the sole owner of ``point``.
+
+        Returns ``True`` iff this worker now holds the claim.  A held,
+        fresh claim yields ``False``; a stale claim is stolen through the
+        rename tombstone (single winner), after which the exclusive
+        re-create still arbitrates against concurrent fresh claimers.
+        """
+        path = self._path(point)
+        for _ in range(3):
+            if self._create(path):
+                return True
+            info = self._read(path)
+            if info is None:
+                continue  # released under us: retry the exclusive create
+            _, heartbeat = info
+            if self.clock() - heartbeat <= self.ttl:
+                return False
+            tombstone = path.with_name(
+                f"{path.name}.stale-{os.getpid()}-{next(self._nonce)}"
+            )
+            try:
+                os.rename(path, tombstone)
+            except OSError:
+                continue  # another stealer won the rename: retry/observe
+            try:
+                os.unlink(tombstone)
+            except OSError:
+                pass
+        return False
+
+    def refresh(self, point: GridPoint) -> bool:
+        """Re-stamp the heartbeat of a claim we hold.
+
+        Returns ``False`` (without writing) when the claim is gone or
+        owned by someone else — the caller has lost it and must not
+        assume ownership.
+        """
+        path = self._path(point)
+        info = self._read(path)
+        if info is None or (info[0] and info[0] != self.owner):
+            return False
+        fd, tmp = tempfile.mkstemp(dir=self.claims_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(
+                    {"owner": self.owner, "heartbeat": self.clock()}, handle
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def release(self, point: GridPoint) -> bool:
+        """Drop our claim on ``point`` (no-op if it is not ours).
+
+        Release goes through the same rename-then-verify gate stealing
+        uses: if a stealer replaced our (necessarily stale) claim with
+        its own between our read and our rename, we see the foreign
+        owner in the tombstone, put the claim back and report the loss —
+        we never delete a claim that is no longer ours.
+        """
+        path = self._path(point)
+        info = self._read(path)
+        if info is None or info[0] != self.owner:
+            return False
+        tombstone = path.with_name(
+            f"{path.name}.release-{os.getpid()}-{next(self._nonce)}"
+        )
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return False  # vanished or stolen-and-being-replaced under us
+        owner = (self._read(tombstone) or ("", 0.0))[0]
+        if owner != self.owner:
+            # a stealer's fresh claim was renamed by mistake: restore it
+            # (link-back fails only if yet another claim appeared, in
+            # which case the stolen record is redundant anyway)
+            try:
+                os.link(tombstone, path)
+            except OSError:
+                pass
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        return owner == self.owner
+
+    def owner_of(self, point: GridPoint) -> Optional[str]:
+        """Current claim owner of ``point``, or ``None`` if unclaimed."""
+        info = self._read(self._path(point))
+        return info[0] if info is not None else None
+
+
+def pending_points(run_dir: Union[str, Path]) -> List[GridPoint]:
+    """Grid points of a run with no cache checkpoint yet, in grid order."""
+    manifest = load_manifest(run_dir)
+    cache = ResultCache(Path(run_dir) / CACHE_SUBDIR)
+    return [
+        point
+        for point in manifest.spec.points()
+        if not cache.contains(point)
+    ]
+
+
+def run_dist_worker(
+    run_dir: Union[str, Path],
+    owner: Optional[str] = None,
+    ttl: float = DEFAULT_TTL,
+    workers: int = 0,
+    point_fn: Callable[[GridPoint], "PointResult"] = run_point,
+    progress=None,
+    clock: Callable[[], float] = time.time,
+):
+    """One claim-mode worker pass over an initialised run directory.
+
+    Claims and computes whatever is pending, checkpoints every completed
+    point through the shared cache, and returns this worker's (partial)
+    :class:`~repro.exp.runner.GridResult`: cached points plus the points
+    it computed; points freshly claimed by other live workers are counted
+    in ``skipped``.  Run it from as many processes/hosts as you like;
+    :func:`merge_run` assembles the canonical whole once the claim set
+    drains.
+    """
+    from repro.exp.runner import run_grid
+
+    manifest = load_manifest(run_dir)
+    return run_grid(
+        manifest.spec,
+        workers=workers,
+        cache_dir=Path(run_dir) / CACHE_SUBDIR,
+        progress=progress,
+        claim=ClaimConfig(
+            run_dir=run_dir,
+            owner=owner if owner is not None else default_owner(),
+            ttl=ttl,
+            clock=clock,
+        ),
+        point_fn=point_fn,
+    )
+
+
+def merge_run(run_dir: Union[str, Path], allow_partial: bool = False):
+    """Assemble the canonical :class:`GridResult` of a run directory.
+
+    Reads every checkpointed point from the shared cache in grid order.
+    An incomplete run raises ``ValueError`` naming the first missing
+    point unless ``allow_partial`` — a partial merge is still a valid
+    (sparse) grid document that :func:`~repro.analysis.persistence.\
+merge_grid_dicts` can later combine with the stragglers.
+    """
+    from repro.exp.runner import GridResult
+
+    manifest = load_manifest(run_dir)
+    cache = ResultCache(Path(run_dir) / CACHE_SUBDIR)
+    results = []
+    missing = []
+    for point in manifest.spec.points():
+        hit = cache.get(point)
+        if hit is not None:
+            results.append(hit)
+        else:
+            missing.append(point)
+    if missing and not allow_partial:
+        raise ValueError(
+            f"run {manifest.run_id} is incomplete: {len(missing)} of "
+            f"{len(manifest.spec)} points missing (first: "
+            f"{missing[0].label}); finish the sweep (--resume) or merge "
+            f"with allow_partial"
+        )
+    return GridResult(
+        spec=manifest.spec,
+        results=results,
+        cache_hits=len(results),
+        # provenance from the manifest, not from whoever merges: the
+        # points were computed under the calibration recorded at init
+        calibration=manifest.calibration or None,
+    )
+
+
+def run_payload(run_dir: Union[str, Path], allow_partial: bool = False) -> dict:
+    """A run directory as a grid *document* (dict), carrying the
+    manifest's calibration fingerprint so merges across runs validate
+    against what the points were actually computed under."""
+    from repro.analysis.persistence import grid_to_dict
+
+    return grid_to_dict(merge_run(run_dir, allow_partial=allow_partial))

@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Iterator, Tuple, Type
+from typing import Callable, Dict, Iterator, List, Tuple, Type
 
 from repro.core.naive import NaiveScheduler
 from repro.core.scheduler import SchedulerBase
@@ -302,6 +302,30 @@ class GridSpec:
             * len(self._utilization_axis())
             * len(self.seeds)
         )
+
+    def shard(self, index: int, count: int) -> List[GridPoint]:
+        """Deterministic round-robin slice ``index`` of ``count`` (1-based).
+
+        Shard ``i`` of ``n`` holds every point whose position in the
+        canonical :meth:`points` order is congruent to ``i - 1`` modulo
+        ``n``.  The ``n`` shards of any grid are therefore a disjoint
+        exact cover of it, each order-preserving, and — because point
+        seeds derive from coordinates, never from execution order — a
+        shard computes bit-identical results to the same points of a
+        whole-grid run.  Round-robin (rather than contiguous blocks)
+        spreads the expensive high-task-count columns evenly over shards.
+        """
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        if not 1 <= index <= count:
+            raise ValueError(
+                f"shard index must be in [1, {count}], got {index}"
+            )
+        return [
+            point
+            for position, point in enumerate(self.points())
+            if position % count == index - 1
+        ]
 
     def points(self) -> Iterator[GridPoint]:
         """Enumerate the grid in deterministic (variant, count, utilization,

@@ -19,6 +19,8 @@ ResNet18 on this device class.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
@@ -128,6 +130,18 @@ class DeviceCalibration:
                 )
             ),
         )
+
+    @property
+    def digest(self) -> str:
+        """Hex digest of :attr:`fingerprint`, stable across processes.
+
+        This is the form persisted in grid documents and distributed-run
+        manifests (see :mod:`repro.exp.dist`): two sweeps may only be
+        merged when their calibration digests agree, otherwise results
+        computed under different cost models would silently mix.
+        """
+        blob = json.dumps(self.fingerprint, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
 
 
 #: The calibration used throughout the reproduction.

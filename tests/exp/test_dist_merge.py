@@ -1,0 +1,183 @@
+"""Validation paths of ``merge_grid_dicts`` / ``repro merge``.
+
+The fix under test: merging must *refuse* to combine grid documents
+whose format versions or calibration fingerprints differ, whose specs
+describe different grids, or whose duplicate points disagree — instead
+of silently concatenating them into a chimera result set.
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis.persistence import (
+    GRID_FORMAT_VERSION,
+    grid_to_dict,
+    merge_grid_dicts,
+)
+from repro.exp.grid import GridSpec
+from repro.exp.runner import run_grid
+
+from tests.exp.test_dist_properties import fake_point, identity
+
+SPEC = GridSpec(
+    scenario="scenario1",
+    num_contexts=2,
+    variants=("naive", "sgprs_1.5"),
+    task_counts=(2, 4),
+    seeds=(0, 1),
+    duration=0.5,
+    warmup=0.1,
+)
+
+
+@pytest.fixture()
+def shards():
+    """Two half-grid documents that together cover SPEC exactly."""
+    return [
+        grid_to_dict(run_grid(SPEC, shard=(i, 2), point_fn=fake_point))
+        for i in (1, 2)
+    ]
+
+
+class TestHappyPath:
+    def test_complementary_shards_merge(self, shards):
+        merged = merge_grid_dicts(shards)
+        assert len(merged.results) == len(SPEC)
+        assert [r.point for r in merged.results] == list(SPEC.points())
+
+    def test_identical_duplicates_dedupe(self, shards):
+        merged = merge_grid_dicts(shards + [copy.deepcopy(shards[0])])
+        assert len(merged.results) == len(SPEC)
+        whole = run_grid(SPEC, point_fn=fake_point)
+        assert identity(merged.results) == identity(whole.results)
+
+    def test_merge_keeps_the_inputs_calibration(self, shards):
+        # merging on a host with a different ambient calibration must
+        # not re-label the output with that host's fingerprint
+        foreign = "a" * 64
+        for shard in shards:
+            shard["calibration"] = foreign
+        merged = merge_grid_dicts(shards)
+        assert merged.calibration == foreign
+        assert grid_to_dict(merged)["calibration"] == foreign
+
+    def test_duplicates_differing_only_in_elapsed_dedupe(self, shards):
+        # elapsed is provenance, not identity: a double-computed point
+        # legitimately differs in wall-clock cost
+        twin = copy.deepcopy(shards[0])
+        for row in twin["points"]:
+            row["elapsed"] = 123.456
+        merged = merge_grid_dicts(shards + [twin])
+        assert len(merged.results) == len(SPEC)
+
+
+class TestRefusals:
+    def test_empty_input_refused(self):
+        with pytest.raises(ValueError, match="nothing to merge"):
+            merge_grid_dicts([])
+
+    def test_mixed_format_versions_refused(self, shards):
+        shards[1]["version"] = GRID_FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="mixed format versions"):
+            merge_grid_dicts(shards)
+
+    def test_unreadable_version_refused(self, shards):
+        for shard in shards:
+            shard["version"] = 999
+        with pytest.raises(ValueError, match="unsupported grid format"):
+            merge_grid_dicts(shards)
+
+    def test_mixed_calibrations_refused(self, shards):
+        shards[1]["calibration"] = "f" * 64
+        with pytest.raises(ValueError, match="different device calibrations"):
+            merge_grid_dicts(shards)
+
+    def test_missing_calibration_is_wildcard(self, shards):
+        # pre-dist documents carry no fingerprint; they merge with
+        # fingerprinted ones rather than failing
+        del shards[0]["calibration"]
+        assert len(merge_grid_dicts(shards).results) == len(SPEC)
+
+    def test_different_specs_refused(self, shards):
+        import dataclasses
+
+        other = dataclasses.replace(SPEC, duration=9.0)
+        foreign = grid_to_dict(run_grid(other, shard=(1, 2), point_fn=fake_point))
+        with pytest.raises(ValueError, match="different grids"):
+            merge_grid_dicts([shards[0], foreign])
+
+    def test_conflicting_duplicates_refused(self, shards):
+        twin = copy.deepcopy(shards[0])
+        twin["points"][0]["total_fps"] += 1.0
+        with pytest.raises(ValueError, match="conflicting duplicate"):
+            merge_grid_dicts(shards + [twin])
+
+    def test_stray_points_refused(self, shards):
+        import dataclasses
+
+        other = dataclasses.replace(SPEC, duration=9.0)
+        stray = grid_to_dict(run_grid(other, shard=(1, 2), point_fn=fake_point))
+        # graft a foreign point row into an otherwise-valid document
+        shards[0]["points"].append(stray["points"][0])
+        with pytest.raises(ValueError, match="do not belong"):
+            merge_grid_dicts(shards)
+
+    def test_incomplete_coverage_refused_unless_allowed(self, shards):
+        alone = [shards[0]]
+        with pytest.raises(ValueError, match="cover only"):
+            merge_grid_dicts(alone)
+        partial = merge_grid_dicts(alone, allow_partial=True)
+        assert len(partial.results) == len(SPEC) // 2
+
+
+class TestCliMerge:
+    def test_mixed_versions_fail_cleanly(self, shards, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        shards[1]["version"] = 999
+        paths = []
+        for k, shard in enumerate(shards):
+            path = tmp_path / f"shard{k}.json"
+            path.write_text(json.dumps(shard))
+            paths.append(str(path))
+        with pytest.raises(SystemExit, match="mixed format versions"):
+            main(["merge"] + paths)
+
+    def test_missing_input_fails_cleanly(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["merge", str(tmp_path / "ghost.json")])
+
+    def test_malformed_json_fails_cleanly(self, tmp_path):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["merge", str(bad)])
+
+    def test_non_grid_document_fails_cleanly(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        stray = tmp_path / "stray.json"
+        stray.write_text(json.dumps({"version": GRID_FORMAT_VERSION}))
+        with pytest.raises(SystemExit, match="not a grid document"):
+            main(["merge", str(stray)])
+
+    def test_directory_of_documents_merges(self, shards, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        for k, shard in enumerate(shards):
+            (tmp_path / f"shard{k}.json").write_text(json.dumps(shard))
+        out = tmp_path / "merged.json"
+        assert main(["merge", str(tmp_path), "--out", str(out)]) == 0
+        merged = json.loads(out.read_text())
+        assert len(merged["points"]) == len(SPEC)

@@ -1,0 +1,465 @@
+"""Property/invariant tests for the distributed sweep protocol.
+
+Three families, each over randomized grids:
+
+* shard partitions are a disjoint exact cover of the grid for every
+  shard count (and order-preserving within a shard);
+* the claim protocol never yields two owners for one point, under
+  concurrent threaded claimers, for both fresh claims and stale steals;
+* ``merge(shards) == run_grid(whole)`` bit-identically, whether the
+  shards come from static ``shard=(i, n)`` partitions or from concurrent
+  claim-mode workers over one run directory.
+
+The physics is exercised elsewhere (the simulator is deterministic by
+construction); here the point function is a pure stand-in derived from
+the point's config hash, so hundreds of protocol runs cost milliseconds.
+"""
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.exp.cache import ResultCache
+from repro.exp.dist import (
+    CACHE_SUBDIR,
+    ClaimBoard,
+    init_run,
+    load_manifest,
+    merge_run,
+    parse_shard,
+    pending_points,
+    run_dist_worker,
+    run_id_for,
+)
+from repro.exp.grid import GridPoint, GridSpec
+from repro.exp.runner import run_grid
+from repro.exp.worker import PointResult
+
+VARIANT_POOL = ("naive", "sgprs_1", "sgprs_1.5", "sgprs_2")
+
+
+def fake_point(point: GridPoint) -> PointResult:
+    """A pure, deterministic stand-in for the simulator: metrics derived
+    from the point's own config hash, so any two computations of one
+    point are bit-identical — exactly the contract ``run_point`` has."""
+    blob = int(point.config_hash()[:12], 16)
+    return PointResult(
+        point=point,
+        total_fps=float(blob % 10_000) / 7.0,
+        dmr=(blob % 101) / 100.0,
+        utilization=(blob % 97) / 96.0,
+        mean_pressure=(blob % 89) / 88.0,
+        released=blob % 1000,
+        completed=blob % 997,
+        elapsed=0.0,
+    )
+
+
+def random_spec(rng: random.Random) -> GridSpec:
+    """A randomized (never-executed-by-the-simulator) grid."""
+    return GridSpec(
+        scenario="scenario1",
+        num_contexts=rng.randint(1, 3),
+        variants=tuple(
+            rng.sample(VARIANT_POOL, k=rng.randint(1, len(VARIANT_POOL)))
+        ),
+        task_counts=tuple(
+            sorted(rng.sample(range(2, 30), k=rng.randint(1, 5)))
+        ),
+        seeds=tuple(range(rng.randint(1, 3))),
+        duration=0.5,
+        warmup=0.1,
+        work_jitter_cv=rng.choice((0.0, 0.1)),
+    )
+
+
+def identity(results):
+    """Order-sensitive value identity of a result list, minus ``elapsed``
+    (wall-clock provenance, zeroed by cache hits)."""
+    rows = []
+    for result in results:
+        payload = result.to_dict()
+        payload.pop("elapsed")
+        rows.append(json.dumps(payload, sort_keys=True))
+    return rows
+
+
+class TestShardPartition:
+    @pytest.mark.parametrize("trial", range(10))
+    def test_disjoint_exact_cover_for_all_counts(self, trial):
+        rng = random.Random(trial)
+        spec = random_spec(rng)
+        points = list(spec.points())
+        hashes = [p.config_hash() for p in points]
+        for count in range(1, 8):
+            shards = [spec.shard(i, count) for i in range(1, count + 1)]
+            flat = [p.config_hash() for shard in shards for p in shard]
+            # exact cover: same multiset, no duplicates across shards
+            assert sorted(flat) == sorted(hashes)
+            assert len(set(flat)) == len(flat)
+
+    def test_shards_preserve_grid_order(self):
+        spec = random_spec(random.Random(99))
+        order = {p.config_hash(): k for k, p in enumerate(spec.points())}
+        for count in (2, 3, 5):
+            for i in range(1, count + 1):
+                positions = [order[p.config_hash()] for p in spec.shard(i, count)]
+                assert positions == sorted(positions)
+
+    def test_round_robin_balance(self):
+        # shard sizes differ by at most one point
+        spec = random_spec(random.Random(7))
+        for count in (2, 3, 4):
+            sizes = [len(spec.shard(i, count)) for i in range(1, count + 1)]
+            assert max(sizes) - min(sizes) <= 1
+            assert sum(sizes) == len(spec)
+
+    def test_bad_shard_args_rejected(self):
+        spec = random_spec(random.Random(0))
+        for index, count in ((0, 2), (3, 2), (1, 0), (-1, 4)):
+            with pytest.raises(ValueError):
+                spec.shard(index, count)
+
+    def test_parse_shard(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/8") == (2, 8)
+        for bad in ("0/4", "5/4", "2", "a/b", "2/8/1", ""):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+
+class TestClaimProtocol:
+    SPEC = GridSpec(
+        scenario="scenario1",
+        num_contexts=2,
+        variants=("naive", "sgprs_1", "sgprs_1.5", "sgprs_2"),
+        task_counts=(2, 3, 5, 8, 13),
+        seeds=(0, 1),
+        duration=0.5,
+        warmup=0.1,
+    )
+
+    def test_fresh_claims_have_single_owner(self, tmp_path):
+        """Threaded stress: every point is won by exactly one claimer."""
+        init_run(tmp_path, self.SPEC)
+        points = list(self.SPEC.points())
+        winners = {}  # hash -> list of owners that claimed it
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def claimer(owner):
+            board = ClaimBoard(tmp_path, owner=owner, ttl=60.0)
+            barrier.wait()
+            for point in points:
+                if board.try_claim(point):
+                    with lock:
+                        winners.setdefault(point.config_hash(), []).append(
+                            owner
+                        )
+
+        threads = [
+            threading.Thread(target=claimer, args=(f"w{i}",))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(winners) == {p.config_hash() for p in points}
+        multi = {h: o for h, o in winners.items() if len(o) != 1}
+        assert multi == {}, f"points with != 1 owner: {multi}"
+
+    def test_stale_steal_has_single_winner(self, tmp_path):
+        """Concurrent stealers of one stale claim: exactly one wins."""
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        # a dead worker's claim, long past any TTL
+        dead = ClaimBoard(tmp_path, owner="dead", ttl=60.0, clock=lambda: 0.0)
+        assert dead.try_claim(point)
+        wins = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def stealer(owner):
+            board = ClaimBoard(tmp_path, owner=owner, ttl=60.0)
+            barrier.wait()
+            if board.try_claim(point):
+                with lock:
+                    wins.append(owner)
+
+        threads = [
+            threading.Thread(target=stealer, args=(f"s{i}",))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1, f"stale claim stolen by {wins}"
+
+    def test_serial_worker_claims_lazily(self, tmp_path):
+        """A serial worker holds at most ONE claim at any moment — it
+        must never fence off the whole grid up front (that would starve
+        late-joining workers and out-age the TTL on the last points)."""
+        init_run(tmp_path, self.SPEC)
+        claims_dir = tmp_path / "claims"
+        held = []
+
+        def watching(point):
+            held.append(len(list(claims_dir.glob("*.claim"))))
+            return fake_point(point)
+
+        run_dist_worker(tmp_path, owner="solo", point_fn=watching)
+        assert held, "worker computed nothing"
+        assert max(held) == 1, f"held {max(held)} claims at once"
+
+    def test_late_joining_worker_finds_work(self, tmp_path):
+        """A worker joining while another is mid-sweep picks up the
+        unclaimed remainder instead of finding everything fenced off."""
+        total = len(self.SPEC)
+        init_run(tmp_path, self.SPEC)
+        first_started = threading.Event()
+        gate = threading.Event()
+
+        def slow_fn(point):
+            first_started.set()
+            assert gate.wait(timeout=30)
+            return fake_point(point)
+
+        reports = {}
+
+        def early():
+            reports["early"] = run_dist_worker(
+                tmp_path, owner="early", point_fn=slow_fn
+            )
+
+        thread = threading.Thread(target=early)
+        thread.start()
+        assert first_started.wait(timeout=30)
+        # the early worker is mid-point, holding exactly one claim: a
+        # late joiner must drain the other total-1 points
+        reports["late"] = run_dist_worker(
+            tmp_path, owner="late", point_fn=fake_point
+        )
+        gate.set()
+        thread.join()
+        assert reports["late"].cache_misses == total - 1
+        assert reports["early"].cache_misses == 1
+        assert reports["early"].cache_hits == total - 1
+
+    def test_fresh_claim_is_not_stolen(self, tmp_path):
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        holder = ClaimBoard(tmp_path, owner="holder", ttl=60.0)
+        assert holder.try_claim(point)
+        rival = ClaimBoard(tmp_path, owner="rival", ttl=60.0)
+        assert not rival.try_claim(point)
+        assert rival.owner_of(point) == "holder"
+
+    def test_release_frees_the_point(self, tmp_path):
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        holder = ClaimBoard(tmp_path, owner="holder", ttl=60.0)
+        assert holder.try_claim(point)
+        assert holder.release(point)
+        assert holder.owner_of(point) is None
+        rival = ClaimBoard(tmp_path, owner="rival", ttl=60.0)
+        assert rival.try_claim(point)
+
+    def test_release_verify_gate_restores_a_stolen_claim(
+        self, tmp_path, monkeypatch
+    ):
+        """The release TOCTOU window: a stealer replaces our stale claim
+        between release's ownership read and its rename.  The
+        rename-then-verify gate must detect the foreign owner, restore
+        the stolen claim, and report the loss — never delete it."""
+        import time
+
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        holder = ClaimBoard(tmp_path, owner="holder", ttl=0.001)
+        rival = ClaimBoard(tmp_path, owner="rival", ttl=0.001)
+        assert holder.try_claim(point)
+        time.sleep(0.01)  # the holder's claim is now stale
+        assert rival.try_claim(point)  # ...and stolen
+        # simulate the race: the holder's pre-release read still saw its
+        # own (stale) claim; everything after reads the real files
+        real_read = holder._read
+        lied = []
+
+        def lying_read(path):
+            if not lied:
+                lied.append(True)
+                return ("holder", time.time())
+            return real_read(path)
+
+        monkeypatch.setattr(holder, "_read", lying_read)
+        assert holder.release(point) is False
+        assert rival.owner_of(point) == "rival"
+
+    def test_release_of_foreign_claim_is_refused(self, tmp_path):
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        holder = ClaimBoard(tmp_path, owner="holder", ttl=60.0)
+        assert holder.try_claim(point)
+        rival = ClaimBoard(tmp_path, owner="rival", ttl=60.0)
+        assert not rival.release(point)
+        assert holder.owner_of(point) == "holder"
+
+    def test_refresh_keeps_a_claim_alive(self, tmp_path):
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        now = [1000.0]
+        holder = ClaimBoard(
+            tmp_path, owner="holder", ttl=60.0, clock=lambda: now[0]
+        )
+        rival = ClaimBoard(
+            tmp_path, owner="rival", ttl=60.0, clock=lambda: now[0]
+        )
+        assert holder.try_claim(point)
+        now[0] += 50.0
+        assert holder.refresh(point)
+        now[0] += 50.0  # 100s after claim, 50s after refresh: still fresh
+        assert not rival.try_claim(point)
+        assert holder.owner_of(point) == "holder"
+
+    def test_refresh_detects_a_lost_claim(self, tmp_path):
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        now = [1000.0]
+        holder = ClaimBoard(
+            tmp_path, owner="holder", ttl=10.0, clock=lambda: now[0]
+        )
+        rival = ClaimBoard(
+            tmp_path, owner="rival", ttl=10.0, clock=lambda: now[0]
+        )
+        assert holder.try_claim(point)
+        now[0] += 60.0  # holder presumed dead
+        assert rival.try_claim(point)
+        assert not holder.refresh(point)
+
+
+class TestMergeEqualsWhole:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_static_shards_merge_to_whole(self, trial, tmp_path):
+        from repro.analysis.persistence import grid_to_dict, merge_grid_dicts
+
+        rng = random.Random(100 + trial)
+        spec = random_spec(rng)
+        count = rng.randint(2, 5)
+        whole = run_grid(spec, point_fn=fake_point)
+        payloads = [
+            grid_to_dict(
+                run_grid(spec, shard=(i, count), point_fn=fake_point)
+            )
+            for i in range(1, count + 1)
+        ]
+        rng.shuffle(payloads)  # merge must not depend on shard order
+        merged = merge_grid_dicts(payloads)
+        assert identity(merged.results) == identity(whole.results)
+        assert [r.point for r in merged.results] == list(spec.points())
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_claim_workers_merge_to_whole(self, trial, tmp_path):
+        rng = random.Random(200 + trial)
+        spec = random_spec(rng)
+        init_run(tmp_path, spec)
+        reports = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def worker(owner):
+            barrier.wait()
+            report = run_dist_worker(
+                tmp_path, owner=owner, point_fn=fake_point
+            )
+            with lock:
+                reports.append(report)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # every point computed exactly once across the fleet
+        assert sum(r.cache_misses for r in reports) == len(spec)
+        merged = merge_run(tmp_path)
+        whole = run_grid(spec, point_fn=fake_point)
+        assert identity(merged.results) == identity(whole.results)
+
+    def test_shard_of_real_points_is_bit_identical_to_whole(self):
+        """One tiny *simulated* grid proves the physics path composes
+        with sharding the same way the fake does."""
+        spec = GridSpec(
+            scenario="scenario1",
+            num_contexts=2,
+            variants=("naive", "sgprs_1.5"),
+            task_counts=(2, 3),
+            duration=0.5,
+            warmup=0.1,
+        )
+        whole = {
+            r.point.config_hash(): r.total_fps
+            for r in run_grid(spec).results
+        }
+        for i in (1, 2):
+            for result in run_grid(spec, shard=(i, 2)).results:
+                assert result.total_fps == whole[result.point.config_hash()]
+
+
+class TestRunDirectory:
+    SPEC = TestClaimProtocol.SPEC
+
+    def test_run_id_is_deterministic(self):
+        assert run_id_for(self.SPEC) == run_id_for(self.SPEC)
+        other = GridSpec(
+            scenario="scenario1",
+            num_contexts=2,
+            variants=("naive",),
+            task_counts=(2,),
+            duration=0.5,
+            warmup=0.1,
+        )
+        assert run_id_for(self.SPEC) != run_id_for(other)
+
+    def test_init_is_idempotent(self, tmp_path):
+        first = init_run(tmp_path, self.SPEC)
+        second = init_run(tmp_path, self.SPEC)
+        assert first.run_id == second.run_id
+        assert load_manifest(tmp_path).spec == self.SPEC
+
+    def test_init_refuses_a_different_grid(self, tmp_path):
+        init_run(tmp_path, self.SPEC)
+        import dataclasses
+
+        other = dataclasses.replace(self.SPEC, duration=9.0)
+        with pytest.raises(ValueError, match="different grid"):
+            init_run(tmp_path, other)
+
+    def test_load_manifest_requires_a_run_dir(self, tmp_path):
+        with pytest.raises(ValueError, match="not a run directory"):
+            load_manifest(tmp_path / "nope")
+
+    def test_pending_points_shrink_as_the_cache_fills(self, tmp_path):
+        init_run(tmp_path, self.SPEC)
+        points = list(self.SPEC.points())
+        assert pending_points(tmp_path) == points
+        cache = ResultCache(tmp_path / CACHE_SUBDIR)
+        for point in points[:3]:
+            cache.put(fake_point(point))
+        assert pending_points(tmp_path) == points[3:]
+
+    def test_merge_refuses_an_incomplete_run(self, tmp_path):
+        init_run(tmp_path, self.SPEC)
+        cache = ResultCache(tmp_path / CACHE_SUBDIR)
+        points = list(self.SPEC.points())
+        for point in points[:-1]:
+            cache.put(fake_point(point))
+        with pytest.raises(ValueError, match="incomplete"):
+            merge_run(tmp_path)
+        partial = merge_run(tmp_path, allow_partial=True)
+        assert len(partial.results) == len(points) - 1

@@ -103,6 +103,151 @@ class TestSynthCommand:
         assert "naive" in out and "sgprs" in out
 
 
+class TestDistParser:
+    def test_shard_flag(self):
+        args = build_parser().parse_args(["sweep", "--shard", "2/8"])
+        assert args.shard == (2, 8)
+
+    def test_bad_shard_rejected(self):
+        for bad in ("0/4", "5/4", "x/y", "3"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["sweep", "--shard", bad])
+
+    def test_claim_and_heartbeat_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--claim", "--heartbeat", "30", "--owner", "w1"]
+        )
+        assert args.claim
+        assert args.heartbeat == 30.0
+        assert args.owner == "w1"
+
+    def test_merge_command(self):
+        args = build_parser().parse_args(
+            ["merge", "a.json", "b.json", "--out", "g.json", "--allow-partial"]
+        )
+        assert args.figure == "merge"
+        assert args.inputs == ["a.json", "b.json"]
+        assert args.allow_partial
+
+
+class TestDistributedSweep:
+    """ISSUE 3 acceptance: a grid run as 4 shards then merged is
+    identical (modulo the unordered ``elapsed`` provenance) to the same
+    grid run single-host."""
+
+    ARGS = [
+        "sweep",
+        "--scenario",
+        "1",
+        "--tasks",
+        "2,3",
+        "--duration",
+        "0.4",
+        "--warmup",
+        "0.1",
+    ]
+
+    @staticmethod
+    def _identity(path):
+        """Value identity of a grid document: point rows minus elapsed."""
+        import json
+
+        doc = json.loads(path.read_text())
+        rows = sorted(
+            json.dumps(
+                {k: v for k, v in row.items() if k != "elapsed"},
+                sort_keys=True,
+            )
+            for row in doc["points"]
+        )
+        return doc["version"], doc["spec"], rows
+
+    def test_four_shards_merge_to_single_host_run(self, tmp_path, capsys):
+        whole = tmp_path / "whole.json"
+        assert main(self.ARGS + ["--out", str(whole)]) == 0
+        shard_paths = []
+        for i in range(1, 5):
+            out = tmp_path / f"shard{i}.json"
+            assert (
+                main(self.ARGS + ["--shard", f"{i}/4", "--out", str(out)])
+                == 0
+            )
+            shard_paths.append(str(out))
+        merged = tmp_path / "merged.json"
+        assert main(["merge", *shard_paths, "--out", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 8 of 8 grid points from 4 document(s)" in out
+        assert self._identity(merged) == self._identity(whole)
+
+    def test_claim_run_dir_merges_to_single_host_run(self, tmp_path, capsys):
+        whole = tmp_path / "whole.json"
+        assert main(self.ARGS + ["--out", str(whole)]) == 0
+        run_dir = tmp_path / "run"
+        # two sequential claim passes from different owners share one
+        # run directory (the first drains the grid, the second sees a
+        # fully-cached run — the concurrent case is covered in
+        # tests/exp/test_dist_properties.py)
+        for owner in ("w1", "w2"):
+            assert (
+                main(
+                    self.ARGS
+                    + ["--claim", "--owner", owner, "--run-dir", str(run_dir)]
+                )
+                == 0
+            )
+        merged = tmp_path / "merged.json"
+        assert main(["merge", str(run_dir), "--out", str(merged)]) == 0
+        assert self._identity(merged) == self._identity(whole)
+
+    def test_partial_run_dir_plus_completing_shard_merges(
+        self, tmp_path, capsys
+    ):
+        # a run dir holding only shard 1's checkpoints merges with the
+        # shard-2 JSON that completes it — without --allow-partial
+        run_dir = tmp_path / "run"
+        assert (
+            main(self.ARGS + ["--shard", "1/2", "--run-dir", str(run_dir)])
+            == 0
+        )
+        shard2 = tmp_path / "shard2.json"
+        assert (
+            main(self.ARGS + ["--shard", "2/2", "--out", str(shard2)]) == 0
+        )
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert (
+            main(["merge", str(run_dir), str(shard2), "--out", str(merged)])
+            == 0
+        )
+        assert "merged 8 of 8" in capsys.readouterr().out
+
+    def test_cache_dir_conflicts_with_run_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                self.ARGS
+                + [
+                    "--claim",
+                    "--cache-dir",
+                    str(tmp_path / "warm"),
+                    "--run-dir",
+                    str(tmp_path / "run"),
+                ]
+            )
+
+    def test_partial_shard_merge_reports_missing(self, tmp_path, capsys):
+        out = tmp_path / "shard1.json"
+        assert main(self.ARGS + ["--shard", "1/4", "--out", str(out)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="cover only"):
+            main(["merge", str(out)])
+        merged = tmp_path / "partial.json"
+        assert (
+            main(["merge", str(out), "--allow-partial", "--out", str(merged)])
+            == 0
+        )
+        assert "2 of 8 grid points" in capsys.readouterr().out
+
+
 class TestFig1:
     def test_prints_table(self, capsys):
         assert main(["fig1"]) == 0
