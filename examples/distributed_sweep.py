@@ -90,7 +90,9 @@ def main() -> None:
     print(f"  pending points now: {len(pending_points(run_dir))}")
 
     # --- recovery: the claim outlives its TTL and is stolen ------------
-    recovery = run_dist_worker(run_dir, owner="recovery", ttl=0.001)
+    # (skew=0: the default clock-skew allowance is for real multi-host
+    # fleets; this single-process demo wants instant staleness)
+    recovery = run_dist_worker(run_dir, owner="recovery", ttl=0.001, skew=0.0)
     print(f"recovery pass recomputed {recovery.cache_misses} point(s)")
 
     # --- merge into the canonical grid and cross-check -----------------

@@ -25,6 +25,10 @@ Usage::
     python -m repro sweep --resume RUN_ID
     python -m repro merge .repro-runs/RUN_ID --out grid.json
 
+    # daemon fleets (repro.exp.daemon): submit work, long-lived workers
+    python -m repro sweep --scenario 1 --submit --runs-root /srv/runs
+    python -m repro worker --runs-root /srv/runs --poll 5 --max-idle 24
+
 ``--fast`` shrinks the task grid and simulation horizon for a quick look;
 the benchmark harness under ``benchmarks/`` runs the full-fidelity version.
 ``sweep`` runs the same grids through :func:`repro.exp.runner.run_grid`:
@@ -50,6 +54,14 @@ checkpointed so ``--resume RUN`` (a run id or directory) recomputes only
 what is missing.  ``merge`` assembles run directories and/or grid JSONs
 into one canonical grid, refusing mixed schema versions, mixed
 calibration fingerprints and conflicting duplicates.
+
+Daemon fleets (see :mod:`repro.exp.daemon`): ``sweep --submit``
+initialises a run directory under ``--runs-root`` and exits without
+computing anything; ``worker`` is the long-lived counterpart that polls
+the runs root (``--poll``), drains every pending run it discovers
+through the claim protocol with background heartbeat refresh, picks up
+hot-added runs, and exits cleanly on SIGTERM, after ``--max-idle``
+empty poll cycles, or after one pass with ``--once``.
 """
 
 from __future__ import annotations
@@ -175,7 +187,7 @@ def _default_run_dir(args: argparse.Namespace, grid) -> Optional[str]:
     """The shared run directory this invocation should use, if any."""
     if args.run_dir:
         return args.run_dir
-    if args.claim:
+    if args.claim or args.submit:
         from repro.exp.dist import run_id_for
 
         return str(Path(args.runs_root) / run_id_for(grid))
@@ -205,12 +217,28 @@ def _run_spec(grid, args: argparse.Namespace, run_dir: Optional[str] = None):
             manifest = init_run(run_dir, grid)
         except ValueError as error:
             raise SystemExit(str(error)) from None
+        if args.submit:
+            # submit-only: the run directory now advertises the grid;
+            # a worker fleet (python -m repro worker) does the computing.
+            # Workers discover runs one level under their root, so the
+            # hint must name the directory that actually contains this
+            # run — its parent, not --runs-root, when --run-dir was used.
+            root_hint = (
+                Path(run_dir).parent if args.run_dir else args.runs_root
+            )
+            print(
+                f"submitted run {manifest.run_id} at {run_dir} "
+                f"({len(grid)} points; drain with: python -m repro worker "
+                f"--runs-root {root_hint})"
+            )
+            return None
         cache_dir = Path(run_dir) / "cache"
         if args.claim:
             claim_config = ClaimConfig(
                 run_dir=run_dir,
                 owner=args.owner or default_owner(),
                 ttl=args.heartbeat,
+                skew=args.skew,
             )
     result = run_grid(
         grid,
@@ -251,6 +279,8 @@ def _sweep_resume(args: argparse.Namespace) -> None:
     except ValueError as error:
         raise SystemExit(str(error)) from None
     result = _run_spec(manifest.spec, args, run_dir=str(run_dir))
+    if result is None:  # --resume --submit: the run dir already exists
+        return
     print(
         f"resumed sweep {manifest.spec.scenario}: "
         f"{_run_summary(result, args)}"
@@ -344,6 +374,8 @@ def _sweep_paper(scenario: Scenario, args: argparse.Namespace) -> None:
         work_jitter_cv=args.jitter_cv,
     )
     result = _run_spec(grid, args)
+    if result is None:  # --submit: initialised only, nothing computed
+        return
     print(
         f"sweep {scenario.name} ({scenario.num_contexts} contexts): "
         f"{_run_summary(result, args)}"
@@ -375,6 +407,8 @@ def _sweep_synth(args: argparse.Namespace) -> None:
         deadline_mode=args.deadline_mode,
     )
     result = _run_spec(grid, args)
+    if result is None:  # --submit: initialised only, nothing computed
+        return
     print(
         f"sweep {scenario.name} ({scenario.num_contexts} contexts, "
         f"mix={args.zoo_mix or scenario.zoo_mix}): "
@@ -439,6 +473,30 @@ def _export(result, args: argparse.Namespace) -> None:
         print(f"grid JSON written to {args.out}")
 
 
+def _worker(args: argparse.Namespace) -> None:
+    """Run one long-lived daemon worker over a runs root."""
+    from repro.exp.daemon import DaemonConfig, serve
+
+    stats = serve(
+        DaemonConfig(
+            runs_root=args.runs_root,
+            poll=args.poll,
+            max_idle=args.max_idle,
+            once=args.once,
+            owner=args.owner,
+            ttl=args.heartbeat,
+            skew=args.skew,
+            workers=args.workers,
+        ),
+        echo=print,
+    )
+    print(
+        f"served {stats.runs_seen} run(s): {stats.points_computed} points "
+        f"computed, {stats.points_skipped} left to peers "
+        f"({stats.cycles} poll cycle(s), stopped by {stats.stopped_by})"
+    )
+
+
 def _synth(args: argparse.Namespace) -> None:
     """Synthesize one taskset and print its composition + capacity math."""
     from repro.analysis.schedulability import (
@@ -497,6 +555,13 @@ def _positive_float(value: str) -> float:
     number = float(value)
     if number <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {number}")
+    return number
+
+
+def _nonnegative_float(value: str) -> float:
+    number = float(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {number}")
     return number
 
 
@@ -690,7 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the heartbeat TTL"
         ),
     )
-    from repro.exp.dist import DEFAULT_TTL
+    from repro.exp.dist import DEFAULT_SKEW, DEFAULT_TTL
 
     dist.add_argument(
         "--heartbeat",
@@ -704,9 +769,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     dist.add_argument(
+        "--skew",
+        type=_nonnegative_float,
+        default=DEFAULT_SKEW,
+        metavar="SECONDS",
+        help=(
+            f"cross-host clock-skew allowance folded into the staleness "
+            f"check: a claim is stolen only once its heartbeat is older "
+            f"than TTL+skew (default {DEFAULT_SKEW:g})"
+        ),
+    )
+    dist.add_argument(
         "--owner",
         default=None,
         help="claim-owner id (default: <hostname>-<pid>)",
+    )
+    dist.add_argument(
+        "--submit",
+        action="store_true",
+        help=(
+            "initialise the run directory (manifest + empty cache) and "
+            "exit without computing; a worker fleet drains it"
+        ),
     )
     dist.add_argument(
         "--run-dir",
@@ -729,6 +813,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs-root",
         default=".repro-runs",
         help="where implicit run directories live (default: .repro-runs)",
+    )
+    worker = commands.add_parser(
+        "worker",
+        help=(
+            "long-lived sweep daemon: poll a runs root, drain pending "
+            "runs via the claim protocol, exit on SIGTERM/idle"
+        ),
+    )
+    worker.add_argument(
+        "--runs-root",
+        default=".repro-runs",
+        help="root holding the run directories to serve (default: "
+        ".repro-runs)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=_positive_float,
+        default=5.0,
+        metavar="SECONDS",
+        help="re-discovery interval between idle passes (default: 5)",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "exit after N consecutive poll cycles with nothing to "
+            "compute (default: run until signalled)"
+        ),
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="one discover-and-drain pass, then exit",
+    )
+    worker.add_argument(
+        "--owner",
+        default=None,
+        help="claim-owner id (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--heartbeat",
+        type=_positive_float,
+        default=DEFAULT_TTL,
+        metavar="SECONDS",
+        help=(
+            f"claim TTL (default {DEFAULT_TTL:g}); the daemon refreshes "
+            f"heartbeats in the background, so short TTLs are safe here"
+        ),
+    )
+    worker.add_argument(
+        "--skew",
+        type=_nonnegative_float,
+        default=DEFAULT_SKEW,
+        metavar="SECONDS",
+        help=f"cross-host clock-skew allowance (default {DEFAULT_SKEW:g})",
+    )
+    worker.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=0,
+        help="worker processes per drain pass (0: serial in-process)",
     )
     merge = commands.add_parser(
         "merge",
@@ -816,6 +963,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _sweep(args)
     if args.figure == "merge":
         _merge(args)
+    if args.figure == "worker":
+        _worker(args)
     if args.figure == "synth":
         _synth(args)
     return 0

@@ -16,10 +16,18 @@ that grid into a first-class object:
   bit-identically to the parallel path);
 * :mod:`repro.exp.aggregate` — seed-replication statistics (mean and 95%
   confidence intervals over >= 3 seeds);
+* :mod:`repro.exp.backend` — pluggable run-store backends (local
+  filesystem, in-memory, S3-style object store, fault-injecting
+  wrapper) behind one atomicity contract;
 * :mod:`repro.exp.dist` — distributed, resumable execution over a shared
-  directory: deterministic shard partitions, an atomic claim/heartbeat
-  protocol for dynamic multi-host partitioning with crash recovery, and
-  the merge step that reassembles one canonical grid.
+  run store: deterministic shard partitions, an atomic claim/heartbeat
+  protocol (with cross-host clock-skew tolerance) for dynamic
+  multi-host partitioning with crash recovery, and the merge step that
+  reassembles one canonical grid;
+* :mod:`repro.exp.daemon` — long-lived workers (``python -m repro
+  worker``) that poll a runs root, drain hot-added runs through the
+  claim protocol with background heartbeat refresh, and shut down
+  cleanly on SIGTERM or idle timeout.
 
 Figures 1/3/4 and the ablation all run on top of this harness; the CLI
 front-end is ``python -m repro sweep`` / ``python -m repro merge`` and
@@ -28,7 +36,18 @@ the compatibility wrapper is
 """
 
 from repro.exp.aggregate import AggregatePoint, aggregate_results, to_sweep
+from repro.exp.backend import (
+    BackendFault,
+    FaultInjectingBackend,
+    InMemoryBackend,
+    LocalFSBackend,
+    ObjectStoreBackend,
+    PrefixedBackend,
+    StorageBackend,
+    as_backend,
+)
 from repro.exp.cache import ResultCache
+from repro.exp.daemon import DaemonConfig, DaemonStats, HeartbeatTicker, serve
 from repro.exp.grid import (
     GridPoint,
     GridSpec,
@@ -48,21 +67,33 @@ from repro.exp.dist import (
     merge_run,
     parse_shard,
     pending_points,
+    run_cache,
     run_dist_worker,
     run_id_for,
 )
 
 __all__ = [
     "AggregatePoint",
+    "BackendFault",
     "ClaimBoard",
     "ClaimConfig",
+    "DaemonConfig",
+    "DaemonStats",
+    "FaultInjectingBackend",
     "GridPoint",
     "GridResult",
     "GridSpec",
+    "HeartbeatTicker",
+    "InMemoryBackend",
+    "LocalFSBackend",
+    "ObjectStoreBackend",
     "PointResult",
+    "PrefixedBackend",
     "ResultCache",
     "RunManifest",
+    "StorageBackend",
     "aggregate_results",
+    "as_backend",
     "default_owner",
     "derive_seed",
     "init_run",
@@ -72,9 +103,11 @@ __all__ = [
     "pending_points",
     "register_variant",
     "resolve_variant",
+    "run_cache",
     "run_dist_worker",
     "run_grid",
     "run_id_for",
     "run_point",
+    "serve",
     "to_sweep",
 ]

@@ -1,0 +1,663 @@
+"""Pluggable storage backends for run directories.
+
+Every piece of distributed-sweep state — the manifest, the claim files,
+the result-cache checkpoints — lives in a *run store* addressed by
+string keys (``manifest.json``, ``claims/<hash>.claim``,
+``cache/<hash>.json``).  This module abstracts where those keys live, so
+the same claim/steal/checkpoint protocol runs over a POSIX directory, an
+in-memory dict, or an S3-style object store, and so a fault-injecting
+wrapper can stress the protocol without touching it.
+
+Atomicity contract
+------------------
+Every backend MUST honor these guarantees; the correctness of the claim
+protocol (:class:`repro.exp.dist.ClaimBoard`) rests on nothing else:
+
+``put_exclusive(key, data) -> bool``
+    Create ``key`` holding exactly ``data`` **iff it does not exist**.
+    Atomic and single-winner: of N concurrent callers, at most one
+    returns ``True``.  A reader never observes a partially-written
+    record — the record is complete the instant the key exists.
+``read(key) -> Optional[Record]``
+    The record's bytes plus an opaque *version token* identifying this
+    exact revision, or ``None`` if the key does not exist.
+``atomic_replace(key, data)``
+    Unconditionally create-or-replace.  Readers see either the old or
+    the new record in full, never a mixture.
+``lease(key, data, token) -> bool``
+    Compare-and-swap: replace the record **iff its current version
+    token still equals** ``token``.  Single-winner: of N concurrent
+    CAS attempts over one token, at most one succeeds.  May fail
+    spuriously (e.g. the LocalFS emulation loses the key to a
+    concurrent fresh ``put_exclusive`` mid-swap); callers must treat
+    ``False`` as "observe again", never as ownership.
+``delete_if_owner(key, owner) -> bool``
+    Delete the record iff it is a JSON object whose ``"owner"`` field
+    equals ``owner``, atomically with respect to concurrent
+    replacements: a record replaced by a foreign owner concurrently is
+    never deleted (worst case it reports ``False``).
+``delete(key) -> bool``
+    Unconditional delete; ``False`` if the key was absent.
+``list_prefix(prefix) -> list[str]``
+    Every existing key starting with ``prefix`` (keys use ``/`` as the
+    hierarchy separator).  Eventually-consistent listings are fine —
+    the protocol never derives ownership from a listing.
+``exists(key) -> bool``
+    Cheap existence probe (no payload transfer required).
+
+Version tokens are backend-specific (the raw bytes on the local
+filesystem, a monotonic revision counter elsewhere) and are only ever
+compared by the backend itself.
+
+Implementations
+---------------
+:class:`LocalFSBackend`
+    Today's on-disk layout, bit-compatible with run directories written
+    before this abstraction existed.  ``put_exclusive`` is a temp file
+    published via :func:`os.link` (exclusive-or-fail *and*
+    complete-on-appearance); ``lease``/``delete_if_owner`` go through
+    the single-winner ``os.rename`` tombstone trick (rename is atomic
+    on POSIX; exactly one concurrent renamer wins).
+:class:`InMemoryBackend`
+    A locked dict — protocol tests without tmpdirs, and the reference
+    semantics the other backends are judged against.
+:class:`ObjectStoreBackend`
+    Emulates an S3-style store: **no rename primitive at all**.  The
+    only conditional operations are the modern S3 ones — PUT
+    ``If-None-Match`` (:meth:`put_exclusive`), PUT ``If-Match``
+    (:meth:`lease`) and DELETE ``If-Match`` — so the claim/steal
+    protocol exercises its compare-and-swap re-expression rather than
+    rename tombstones.  Unlike the LocalFS emulation, an object-store
+    ``lease`` never leaves a key-absent window mid-steal.
+:class:`FaultInjectingBackend`
+    Wraps any backend and applies a scripted fault — ``fail``, ``lost``
+    (applied but the acknowledgement is lost), ``duplicate`` (applied
+    twice), a delay, or an arbitrary hook — on the Nth invocation of a
+    chosen operation.  The fault-injection test tier
+    (``tests/exp/test_backends.py``) drives the whole protocol through
+    it to prove single-ownership survives lost and duplicated
+    operations.
+:class:`PrefixedBackend`
+    A key-namespace view (``prefix + key``) over any backend — how the
+    daemon addresses one run inside a multi-run root.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import tempfile
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+
+class BackendFault(RuntimeError):
+    """An injected (or surfaced) storage-backend failure."""
+
+
+@dataclass(frozen=True)
+class Record:
+    """One stored revision: payload bytes plus an opaque version token."""
+
+    data: bytes
+    token: object
+
+
+def record_owner(data: bytes) -> str:
+    """The ``"owner"`` field of a JSON record, or ``""`` when absent or
+    unparseable — the shared schema ``delete_if_owner`` conditions on."""
+    try:
+        payload = json.loads(data)
+        return str(payload["owner"])
+    except (ValueError, KeyError, TypeError):
+        return ""
+
+
+class StorageBackend(ABC):
+    """Abstract run store; see the module docstring for the contract."""
+
+    @abstractmethod
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        """Atomically create ``key`` iff absent; ``True`` iff we won."""
+
+    @abstractmethod
+    def read(self, key: str) -> Optional[Record]:
+        """Current record (bytes + version token), or ``None``."""
+
+    @abstractmethod
+    def atomic_replace(self, key: str, data: bytes) -> None:
+        """Unconditional atomic create-or-replace."""
+
+    @abstractmethod
+    def lease(self, key: str, data: bytes, token: object) -> bool:
+        """Compare-and-swap replace iff the version token is unchanged."""
+
+    @abstractmethod
+    def delete_if_owner(self, key: str, owner: str) -> bool:
+        """Delete iff the record's JSON ``owner`` equals ``owner``."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Unconditionally delete; ``False`` if absent."""
+
+    @abstractmethod
+    def list_prefix(self, prefix: str) -> List[str]:
+        """All existing keys under ``prefix``."""
+
+    def exists(self, key: str) -> bool:
+        """Cheap existence probe (default: a full read)."""
+        return self.read(key) is not None
+
+    def ensure_prefix(self, prefix: str) -> None:
+        """Prepare a key prefix for writes (a directory ``mkdir`` on
+        filesystems; a no-op on flat keyspaces)."""
+
+
+class LocalFSBackend(StorageBackend):
+    """Keys as files under a root directory (the historical layout).
+
+    Version tokens are the record's raw bytes: the CAS in :meth:`lease`
+    is content-conditional, arbitrated by the atomic ``os.rename`` of
+    the current file to a unique tombstone — exactly one concurrent
+    renamer can win, after which the content is verified against the
+    token and either committed or restored.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        # the root is created lazily on first write: a read-only probe
+        # (e.g. load_manifest on a wrong path) must not litter the
+        # filesystem with empty directories
+        self.root = Path(root)
+        self._nonce = itertools.count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalFSBackend({str(self.root)!r})"
+
+    def _path(self, key: str) -> Path:
+        return self.root.joinpath(*key.split("/"))
+
+    def ensure_prefix(self, prefix: str) -> None:
+        (self.root / prefix.strip("/")).mkdir(parents=True, exist_ok=True)
+
+    def _write_tmp(self, directory: Path, data: bytes) -> Path:
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return Path(tmp)
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        # Publish via link(): exclusive-or-fail like O_EXCL, but the
+        # record is complete the instant the key appears, so a racing
+        # reader can never catch it half-written.
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._write_tmp(path.parent, data)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return True
+
+    def read(self, key: str) -> Optional[Record]:
+        try:
+            data = self._path(key).read_bytes()
+        except OSError:
+            return None
+        return Record(data=data, token=data)
+
+    def atomic_replace(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._write_tmp(path.parent, data)
+        try:
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _grab_tombstone(self, path: Path) -> Optional[Path]:
+        """Atomically move ``path`` aside; ``None`` if we lost the race."""
+        tombstone = path.with_name(
+            f"{path.name}.ts-{os.getpid()}-{next(self._nonce)}"
+        )
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return None
+        return tombstone
+
+    def _restore_tombstone(self, tombstone: Path, path: Path) -> None:
+        """Put a mistakenly-grabbed record back (best effort: if a fresh
+        record already reappeared at ``path``, the grabbed one is an
+        older revision and dropping it is correct)."""
+        try:
+            os.link(tombstone, path)
+        except OSError:
+            pass
+
+    def lease(self, key: str, data: bytes, token: object) -> bool:
+        path = self._path(key)
+        tombstone = self._grab_tombstone(path)
+        if tombstone is None:
+            return False  # vanished or a rival renamer won
+        try:
+            current = tombstone.read_bytes()
+        except OSError:
+            current = None
+        if current != token:
+            # the record changed between the caller's read and our
+            # rename: not our revision to replace
+            self._restore_tombstone(tombstone, path)
+            try:
+                os.unlink(tombstone)
+            except OSError:
+                pass
+            return False
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        # the key-absent window here is inherent to rename-based CAS: a
+        # concurrent fresh put_exclusive may land first, in which case
+        # the lease fails and the caller observes again
+        return self.put_exclusive(key, data)
+
+    def delete_if_owner(self, key: str, owner: str) -> bool:
+        path = self._path(key)
+        tombstone = self._grab_tombstone(path)
+        if tombstone is None:
+            return False
+        try:
+            grabbed = tombstone.read_bytes()
+        except OSError:
+            grabbed = b""
+        matched = record_owner(grabbed) == owner and owner != ""
+        if not matched:
+            self._restore_tombstone(tombstone, path)
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        return matched
+
+    def delete(self, key: str) -> bool:
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            return False
+        return True
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        keys = []
+        for directory, _, files in os.walk(self.root):
+            base = Path(directory).relative_to(self.root)
+            for name in files:
+                key = str(base / name) if str(base) != "." else name
+                key = key.replace(os.sep, "/")
+                if key.startswith(prefix):
+                    keys.append(key)
+        return sorted(keys)
+
+    def exists(self, key: str) -> bool:
+        return self._path(key).exists()
+
+
+class InMemoryBackend(StorageBackend):
+    """A locked dict: the reference semantics, for threaded tests.
+
+    Version tokens are monotonic per-key revision counters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._store: Dict[str, Tuple[bytes, int]] = {}
+        self._revision = itertools.count(1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InMemoryBackend({len(self._store)} keys)"
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        with self._lock:
+            if key in self._store:
+                return False
+            self._store[key] = (bytes(data), next(self._revision))
+            return True
+
+    def read(self, key: str) -> Optional[Record]:
+        with self._lock:
+            entry = self._store.get(key)
+        if entry is None:
+            return None
+        return Record(data=entry[0], token=entry[1])
+
+    def atomic_replace(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._store[key] = (bytes(data), next(self._revision))
+
+    def lease(self, key: str, data: bytes, token: object) -> bool:
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None or entry[1] != token:
+                return False
+            self._store[key] = (bytes(data), next(self._revision))
+            return True
+
+    def delete_if_owner(self, key: str, owner: str) -> bool:
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None or owner == "":
+                return False
+            if record_owner(entry[0]) != owner:
+                return False
+            del self._store[key]
+            return True
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._store.pop(key, None) is not None
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        with self._lock:
+            return sorted(k for k in self._store if k.startswith(prefix))
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store
+
+
+class ObjectStoreBackend(StorageBackend):
+    """S3-semantics emulation: no rename, conditional puts only.
+
+    Every public operation is composed from the five primitives a real
+    S3-compatible store offers — GET, LIST, unconditional PUT, PUT with
+    ``If-None-Match``/``If-Match``, and DELETE with ``If-Match`` — each
+    individually atomic server-side (the ``_server_lock`` stands in for
+    the service's internal serialization).  ``delete_if_owner`` is the
+    one *client-composed* operation: a GET to learn the owner and etag,
+    then a conditional DELETE that only lands if the record has not
+    been replaced since — exactly how a real object-store deployment
+    would have to do it.
+    """
+
+    def __init__(self) -> None:
+        self._server_lock = threading.RLock()
+        self._objects: Dict[str, Tuple[bytes, int]] = {}
+        self._etag = itertools.count(1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObjectStoreBackend({len(self._objects)} objects)"
+
+    # -- the primitives a real S3-style service serializes --------------
+
+    def _get(self, key: str) -> Optional[Tuple[bytes, int]]:
+        with self._server_lock:
+            return self._objects.get(key)
+
+    def _put(self, key: str, data: bytes) -> None:
+        with self._server_lock:
+            self._objects[key] = (bytes(data), next(self._etag))
+
+    def _put_if_none_match(self, key: str, data: bytes) -> bool:
+        with self._server_lock:
+            if key in self._objects:
+                return False
+            self._objects[key] = (bytes(data), next(self._etag))
+            return True
+
+    def _put_if_match(self, key: str, data: bytes, etag: object) -> bool:
+        with self._server_lock:
+            entry = self._objects.get(key)
+            if entry is None or entry[1] != etag:
+                return False
+            self._objects[key] = (bytes(data), next(self._etag))
+            return True
+
+    def _delete_if_match(self, key: str, etag: object) -> bool:
+        with self._server_lock:
+            entry = self._objects.get(key)
+            if entry is None or entry[1] != etag:
+                return False
+            del self._objects[key]
+            return True
+
+    # -- the backend interface, composed from those primitives ----------
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        return self._put_if_none_match(key, data)
+
+    def read(self, key: str) -> Optional[Record]:
+        entry = self._get(key)
+        if entry is None:
+            return None
+        return Record(data=entry[0], token=entry[1])
+
+    def atomic_replace(self, key: str, data: bytes) -> None:
+        self._put(key, data)
+
+    def lease(self, key: str, data: bytes, token: object) -> bool:
+        return self._put_if_match(key, data, token)
+
+    def delete_if_owner(self, key: str, owner: str) -> bool:
+        if owner == "":
+            return False
+        entry = self._get(key)
+        if entry is None or record_owner(entry[0]) != owner:
+            return False
+        return self._delete_if_match(key, entry[1])
+
+    def delete(self, key: str) -> bool:
+        with self._server_lock:
+            return self._objects.pop(key, None) is not None
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        with self._server_lock:
+            return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def exists(self, key: str) -> bool:
+        return self._get(key) is not None
+
+
+#: What a caller sees when an operation's acknowledgement is "lost":
+#: the operation applied, but the backend reports the failure value.
+_LOST_RESULTS = {
+    "put_exclusive": False,
+    "lease": False,
+    "delete_if_owner": False,
+    "delete": False,
+    "atomic_replace": None,
+    "read": None,
+    "list_prefix": [],
+    "exists": False,
+}
+
+
+class FaultInjectingBackend(StorageBackend):
+    """Wrap any backend; apply a scripted fault on the Nth call of an op.
+
+    ``inject(op, nth, action)`` arms one fault for the ``nth`` (1-based,
+    counted per operation name) invocation of ``op``:
+
+    ``"fail"``
+        Raise :class:`BackendFault` *before* applying — the operation
+        never happens (a dropped request).
+    ``"lost"``
+        Apply the operation, then report its failure value — the
+        request landed but the acknowledgement was lost, so the caller
+        must not assume it did.
+    ``"duplicate"``
+        Apply the operation twice, reporting the first result — a
+        retried/duplicated delivery.
+    ``("delay", seconds)``
+        Sleep, then apply — a slow request other workers can overtake.
+    any callable
+        Invoked (no args) before applying — for test-orchestrated
+        interleavings (barriers, events).
+
+    ``log`` records every triggered fault as ``(op, nth, label)``.
+    """
+
+    def __init__(self, inner: StorageBackend) -> None:
+        self.inner = inner
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._faults: Dict[Tuple[str, int], object] = {}
+        self.log: List[Tuple[str, int, str]] = []
+
+    def inject(self, op: str, nth: int, action: object = "fail") -> None:
+        """Arm ``action`` for the ``nth`` (1-based) call of ``op``."""
+        if op not in _LOST_RESULTS:
+            raise ValueError(f"unknown backend operation {op!r}")
+        if nth < 1:
+            raise ValueError(f"nth is 1-based, got {nth}")
+        with self._lock:
+            self._faults[(op, nth)] = action
+
+    def calls(self, op: str) -> int:
+        """How many times ``op`` has been invoked so far."""
+        with self._lock:
+            return self._counts.get(op, 0)
+
+    def _apply(self, op: str, call: Callable[[], object]) -> object:
+        with self._lock:
+            self._counts[op] = self._counts.get(op, 0) + 1
+            action = self._faults.pop((op, self._counts[op]), None)
+            nth = self._counts[op]
+        if action is None:
+            return call()
+        label = action if isinstance(action, str) else getattr(
+            action, "__name__", "hook"
+        )
+        with self._lock:
+            self.log.append((op, nth, str(label)))
+        if action == "fail":
+            raise BackendFault(f"injected failure: {op} #{nth}")
+        if action == "lost":
+            call()
+            return _LOST_RESULTS[op]
+        if action == "duplicate":
+            first = call()
+            call()
+            return first
+        if isinstance(action, tuple) and action and action[0] == "delay":
+            time.sleep(action[1])
+            return call()
+        if callable(action):
+            action()
+            return call()
+        raise ValueError(f"unknown fault action {action!r}")
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        return self._apply(
+            "put_exclusive", lambda: self.inner.put_exclusive(key, data)
+        )
+
+    def read(self, key: str) -> Optional[Record]:
+        return self._apply("read", lambda: self.inner.read(key))
+
+    def atomic_replace(self, key: str, data: bytes) -> None:
+        return self._apply(
+            "atomic_replace", lambda: self.inner.atomic_replace(key, data)
+        )
+
+    def lease(self, key: str, data: bytes, token: object) -> bool:
+        return self._apply(
+            "lease", lambda: self.inner.lease(key, data, token)
+        )
+
+    def delete_if_owner(self, key: str, owner: str) -> bool:
+        return self._apply(
+            "delete_if_owner",
+            lambda: self.inner.delete_if_owner(key, owner),
+        )
+
+    def delete(self, key: str) -> bool:
+        return self._apply("delete", lambda: self.inner.delete(key))
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        return self._apply(
+            "list_prefix", lambda: self.inner.list_prefix(prefix)
+        )
+
+    def exists(self, key: str) -> bool:
+        return self._apply("exists", lambda: self.inner.exists(key))
+
+    def ensure_prefix(self, prefix: str) -> None:
+        # infrastructure, not protocol: never faulted
+        self.inner.ensure_prefix(prefix)
+
+
+class PrefixedBackend(StorageBackend):
+    """A ``prefix + key`` namespace view over another backend.
+
+    How one run is addressed inside a multi-run root (the daemon's
+    runs-root): ``PrefixedBackend(root, "abc123/")`` turns the run
+    store's ``manifest.json`` into the root's ``abc123/manifest.json``.
+    """
+
+    def __init__(self, inner: StorageBackend, prefix: str) -> None:
+        if prefix and not prefix.endswith("/"):
+            prefix += "/"
+        self.inner = inner
+        self.prefix = prefix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrefixedBackend({self.inner!r}, {self.prefix!r})"
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        return self.inner.put_exclusive(self.prefix + key, data)
+
+    def read(self, key: str) -> Optional[Record]:
+        return self.inner.read(self.prefix + key)
+
+    def atomic_replace(self, key: str, data: bytes) -> None:
+        self.inner.atomic_replace(self.prefix + key, data)
+
+    def lease(self, key: str, data: bytes, token: object) -> bool:
+        return self.inner.lease(self.prefix + key, data, token)
+
+    def delete_if_owner(self, key: str, owner: str) -> bool:
+        return self.inner.delete_if_owner(self.prefix + key, owner)
+
+    def delete(self, key: str) -> bool:
+        return self.inner.delete(self.prefix + key)
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        trimmed = len(self.prefix)
+        return [
+            key[trimmed:]
+            for key in self.inner.list_prefix(self.prefix + prefix)
+        ]
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(self.prefix + key)
+
+    def ensure_prefix(self, prefix: str) -> None:
+        self.inner.ensure_prefix(self.prefix + prefix)
+
+
+def as_backend(store: Union[str, Path, StorageBackend]) -> StorageBackend:
+    """Coerce a run-store argument: paths become :class:`LocalFSBackend`
+    roots, backends pass through unchanged."""
+    if isinstance(store, StorageBackend):
+        return store
+    return LocalFSBackend(store)

@@ -1,14 +1,21 @@
-"""On-disk result cache for sweep points.
+"""Result cache for sweep points, on any storage backend.
 
-One JSON file per evaluated :class:`~repro.exp.grid.GridPoint`, named by
-the point's configuration hash.  Sweeps consult the cache before running a
-point and store fresh results afterwards, so
+One JSON record per evaluated :class:`~repro.exp.grid.GridPoint`, keyed
+by the point's configuration hash.  Sweeps consult the cache before
+running a point and store fresh results afterwards, so
 
 * re-running a sweep costs only the points that changed;
 * a grid can be grown (more seeds, more task counts) incrementally;
-* concurrent writers are safe: files are written atomically via a
-  same-directory temp file + ``os.replace``, and the worst case of a race
-  is recomputing one point.
+* concurrent writers are safe: records are published atomically
+  (:meth:`~repro.exp.backend.StorageBackend.atomic_replace`), and the
+  worst case of a race is recomputing one point — every point is a pure
+  function of its coordinates, so the duplicate writes identical bits.
+
+The cache is rooted either in a plain directory (the historical layout:
+one ``<hash>.json`` file per point) or in any
+:class:`~repro.exp.backend.StorageBackend` under an optional key prefix
+— the distributed layer keeps its checkpoints at ``cache/<hash>.json``
+inside a run store.
 
 Corrupt or stale-schema entries are treated as misses and overwritten.
 """
@@ -17,11 +24,10 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.exp.backend import LocalFSBackend, StorageBackend
 from repro.exp.grid import GridPoint
 from repro.exp.worker import PointResult
 
@@ -29,33 +35,54 @@ from repro.exp.worker import PointResult
 class ResultCache:
     """Content-addressed store of :class:`PointResult` records."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(
+        self,
+        root: Union[str, Path, StorageBackend],
+        prefix: str = "",
+    ) -> None:
+        if isinstance(root, StorageBackend):
+            self.root: Optional[Path] = None
+            self.backend = root
+        else:
+            self.root = Path(root)
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.backend = LocalFSBackend(self.root)
+        self.prefix = prefix.strip("/")
         self.hits = 0
         self.misses = 0
 
+    def key_for(self, point: GridPoint) -> str:
+        """The backend key a point maps to."""
+        name = f"{point.config_hash()}.json"
+        return f"{self.prefix}/{name}" if self.prefix else name
+
     def path_for(self, point: GridPoint) -> Path:
-        """The cache file a point maps to."""
-        return self.root / f"{point.config_hash()}.json"
+        """The cache file a point maps to (directory-rooted caches only)."""
+        if self.root is None:
+            raise TypeError(
+                "path_for() needs a directory-rooted cache; this one lives "
+                f"on {self.backend!r} — use key_for()"
+            )
+        return self.root.joinpath(*self.key_for(point).split("/"))
 
     def contains(self, point: GridPoint) -> bool:
-        """Whether a file exists for ``point`` (no parse, no hit/miss
+        """Whether a record exists for ``point`` (no parse, no hit/miss
         accounting) — the cheap pending-point check the distributed layer
         uses; a subsequent :meth:`get` still validates the contents."""
-        return self.path_for(point).exists()
+        return self.backend.exists(self.key_for(point))
 
     def get(self, point: GridPoint) -> Optional[PointResult]:
         """Return the cached result for ``point``, or ``None`` on a miss."""
-        path = self.path_for(point)
+        record = self.backend.read(self.key_for(point))
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
+            if record is None:
+                raise ValueError("missing")
+            payload = json.loads(record.data)
             result = PointResult.from_dict(payload)
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
-        if result.point != point:  # hash collision or hand-edited file
+        if result.point != point:  # hash collision or hand-edited record
             self.misses += 1
             return None
         self.hits += 1
@@ -64,28 +91,24 @@ class ResultCache:
 
     def put(self, result: PointResult) -> None:
         """Store a result atomically under its point's hash."""
-        path = self.path_for(result.point)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(result.to_dict(), handle, indent=1)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        data = json.dumps(result.to_dict(), indent=1).encode()
+        self.backend.atomic_replace(self.key_for(result.point), data)
+
+    def _keys(self):
+        prefix = f"{self.prefix}/" if self.prefix else ""
+        return [
+            key
+            for key in self.backend.list_prefix(prefix)
+            if key.endswith(".json")
+        ]
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return len(self._keys())
 
     def clear(self) -> int:
         """Delete all cached entries; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("*.json"):
-            path.unlink()
-            removed += 1
+        for key in self._keys():
+            if self.backend.delete(key):
+                removed += 1
         return removed

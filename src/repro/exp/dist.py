@@ -1,17 +1,18 @@
-"""Distributed, resumable sweep execution over a shared directory.
+"""Distributed, resumable sweep execution over a shared run store.
 
 Large grids are embarrassingly parallel over points; what N workers on M
 hosts need is not compute but *coordination*: carve up one grid without
 double-running points, survive crashes, and merge into one canonical
-result set.  This module provides that coordination using nothing but a
-directory every worker can reach (NFS, a shared bind-mount, or one
-host's disk for same-machine workers).
+result set.  This module provides that coordination over any
+:mod:`repro.exp.backend` storage backend — a directory every worker can
+reach (NFS, a shared bind-mount, or one host's disk), an S3-style
+object store, or an in-memory store for tests.
 
-Run-directory layout
---------------------
+Run-store layout
+----------------
 ::
 
-    <run_dir>/
+    <run store>/
       manifest.json   grid spec + schema/format versions + calibration
       cache/          one JSON per completed point (repro.exp.cache)
       claims/         <config-hash>.claim ownership markers
@@ -22,16 +23,19 @@ Protocol
   evaluates the deterministic round-robin slice
   :meth:`~repro.exp.grid.GridSpec.shard`; the ``n`` shards are a
   disjoint exact cover of the grid.
-* **Claim mode** coordinates through the filesystem: a worker owns a
-  point iff it created ``claims/<hash>.claim`` with
-  ``os.O_CREAT | os.O_EXCL`` (atomic on POSIX).  The claim records the
-  owner and a heartbeat timestamp; a claim whose heartbeat is older than
-  the TTL is *stale* — its worker is presumed dead — and may be stolen.
-  Stealing is single-winner: the stealer first ``os.rename``-s the stale
-  claim to a unique tombstone (exactly one concurrent renamer can win,
-  rename is atomic), then re-creates the claim through the same
-  ``O_EXCL`` gate, where it may still lose to a concurrent fresh
-  claimer.  Fresh claims therefore never have two owners.
+* **Claim mode** coordinates through the run store: a worker owns a
+  point iff it created ``claims/<hash>.claim`` through the backend's
+  atomic exclusive put (``O_CREAT | os.O_EXCL``-style).  The claim
+  records the owner and a heartbeat timestamp; a claim whose heartbeat
+  is older than the TTL (plus a cross-host clock-``skew`` allowance) is
+  *stale* — its worker is presumed dead — and may be stolen.  Stealing
+  is single-winner: the stealer replaces the stale record through the
+  backend's compare-and-swap :meth:`~repro.exp.backend.StorageBackend.\
+lease` on the exact revision it observed, so of any number of
+  concurrent stealers (and fresh claimers) exactly one ends up owning
+  the claim.  On the local filesystem the CAS is arbitrated by an
+  atomic ``os.rename`` tombstone; on an object store by a conditional
+  put — the protocol above is identical either way.
 * **Completion** is recorded by the :class:`~repro.exp.cache.ResultCache`
   checkpoint (atomic write), never by the claim file, so every finished
   point survives any crash and an interrupted sweep is resumable: a
@@ -50,31 +54,45 @@ a time (``max(workers, 1)`` points — see
 :func:`repro.exp.runner.run_grid`), so late-joining workers immediately
 find unclaimed work.  Choose the TTL (``--heartbeat``) comfortably
 above the cost of the slowest single point: the heartbeat is stamped
-when a point is claimed, workers cannot refresh it mid-simulation, and
-a wave's points compute concurrently, so one point's cost bounds how
-long any claim goes un-refreshed.
+when a point is claimed, single-pass workers cannot refresh it
+mid-simulation, and a wave's points compute concurrently, so one
+point's cost bounds how long any claim goes un-refreshed.  (The daemon
+— :mod:`repro.exp.daemon` — *does* refresh heartbeats from a
+background ticker, so daemon fleets can run short TTLs safely.)
+
+Clock skew: heartbeats are wall-clock stamps compared across hosts, so
+a staleness check naively comparing raw ``time.time()`` values would
+let a worker whose clock runs a few seconds ahead steal a live claim a
+few seconds early.  The ``skew`` parameter (default
+:data:`DEFAULT_SKEW`) widens the staleness window to ``ttl + skew``,
+bounding how far apart two NTP-synced hosts' clocks may drift before
+the protocol double-computes (never corrupts) a point.
 """
 
 from __future__ import annotations
 
 import hashlib
-import itertools
 import json
-import os
 import socket
-import tempfile
+import threading
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
+from repro.exp.backend import StorageBackend, as_backend
 from repro.exp.cache import ResultCache
 from repro.exp.grid import SCHEMA_VERSION, GridPoint, GridSpec
 from repro.exp.worker import run_point
 
 #: Default claim time-to-live in seconds; a claim not refreshed within
-#: this window is presumed abandoned and may be stolen.
+#: this window (plus the skew allowance) is presumed abandoned and may
+#: be stolen.
 DEFAULT_TTL = 300.0
+
+#: Default cross-host clock-skew allowance folded into the staleness
+#: check: a claim is stale only when ``now - heartbeat > ttl + skew``.
+DEFAULT_SKEW = 5.0
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = 1
@@ -82,9 +100,14 @@ MANIFEST_FORMAT = 1
 CACHE_SUBDIR = "cache"
 CLAIMS_SUBDIR = "claims"
 
+#: Anything an init/claim/merge call accepts as "the run store".
+RunStore = Union[str, Path, StorageBackend]
+
 
 def default_owner() -> str:
     """A claim-owner id unique per worker process: ``<host>-<pid>``."""
+    import os
+
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
@@ -130,7 +153,7 @@ class RunManifest:
 
     Written once at :func:`init_run`; every later worker validates its
     own spec/schema/calibration against it, so two hosts can never push
-    incompatible results into one run directory.
+    incompatible results into one run store.
     """
 
     run_id: str
@@ -165,177 +188,169 @@ class RunManifest:
         )
 
 
-def _manifest_path(run_dir: Union[str, Path]) -> Path:
-    return Path(run_dir) / MANIFEST_NAME
+def run_cache(run: RunStore) -> ResultCache:
+    """The shared checkpoint cache of a run store (``cache/`` keys)."""
+    return ResultCache(as_backend(run), prefix=CACHE_SUBDIR)
 
 
-def load_manifest(run_dir: Union[str, Path]) -> RunManifest:
-    """Read and validate the manifest of an existing run directory."""
-    path = _manifest_path(run_dir)
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-    except OSError as error:
+def load_manifest(run: RunStore) -> RunManifest:
+    """Read and validate the manifest of an existing run store."""
+    record = as_backend(run).read(MANIFEST_NAME)
+    if record is None:
         raise ValueError(
-            f"{run_dir} is not a run directory (no readable {MANIFEST_NAME}): "
-            f"{error}"
-        ) from None
+            f"{run} is not a run directory (no readable {MANIFEST_NAME})"
+        )
+    try:
+        payload = json.loads(record.data)
     except ValueError as error:
-        raise ValueError(f"corrupt manifest at {path}: {error}") from None
+        raise ValueError(f"corrupt manifest in {run}: {error}") from None
     return RunManifest.from_dict(payload)
 
 
-def init_run(run_dir: Union[str, Path], spec: GridSpec) -> RunManifest:
-    """Create (or join) a run directory for ``spec``.
+def init_run(run: RunStore, spec: GridSpec) -> RunManifest:
+    """Create (or join) a run store for ``spec``.
 
-    Idempotent and race-safe: the first worker writes the manifest via an
-    exclusive create; every other worker — including one racing the first
-    — loads it and verifies it describes the *same* grid under the same
-    schema version and calibration.  A mismatch raises ``ValueError``
-    rather than letting two different sweeps interleave in one directory.
+    Idempotent and race-safe: the first worker publishes the manifest
+    via the backend's atomic exclusive put (the record is complete the
+    instant it appears); every other worker — including one racing the
+    first — loads it and verifies it describes the *same* grid under
+    the same schema version and calibration.  A mismatch raises
+    ``ValueError`` rather than letting two different sweeps interleave
+    in one store.
     """
-    run_dir = Path(run_dir)
-    (run_dir / CACHE_SUBDIR).mkdir(parents=True, exist_ok=True)
-    (run_dir / CLAIMS_SUBDIR).mkdir(parents=True, exist_ok=True)
+    backend = as_backend(run)
+    backend.ensure_prefix(CACHE_SUBDIR)
+    backend.ensure_prefix(CLAIMS_SUBDIR)
     manifest = RunManifest(
         run_id=run_id_for(spec), spec=spec, calibration=_calibration_digest()
     )
-    path = _manifest_path(run_dir)
-    # Publish atomically: write the full document to a temp file, then
-    # link it into place.  link() is exclusive-or-fail like O_EXCL but
-    # the manifest is complete the instant it appears, so a racing
-    # second worker can never read a half-written file.
-    fd, tmp = tempfile.mkstemp(dir=run_dir, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(manifest.to_dict(), handle, indent=1)
-        os.link(tmp, path)
-    except FileExistsError:
-        existing = load_manifest(run_dir)
-        if asdict(existing.spec) != asdict(spec):
-            raise ValueError(
-                f"{run_dir} already holds run {existing.run_id} over a "
-                f"different grid; use a fresh --run-dir"
-            )
-        if existing.schema_version != SCHEMA_VERSION:
-            raise ValueError(
-                f"{run_dir} was created under point-schema "
-                f"v{existing.schema_version}, this build uses "
-                f"v{SCHEMA_VERSION}; results must not mix"
-            )
-        if existing.calibration and existing.calibration != manifest.calibration:
-            raise ValueError(
-                f"{run_dir} was created under a different device "
-                f"calibration (fingerprint {existing.calibration[:12]}… vs "
-                f"{manifest.calibration[:12]}…); results must not mix"
-            )
-        return existing
-    finally:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-    return manifest
-
-
-@dataclass(frozen=True)
-class ClaimConfig:
-    """How a :func:`repro.exp.runner.run_grid` call should claim points."""
-
-    run_dir: Union[str, Path]
-    owner: str
-    ttl: float = DEFAULT_TTL
-    clock: Callable[[], float] = time.time
+    data = json.dumps(manifest.to_dict(), indent=1).encode()
+    if backend.put_exclusive(MANIFEST_NAME, data):
+        return manifest
+    existing = load_manifest(run)
+    if asdict(existing.spec) != asdict(spec):
+        raise ValueError(
+            f"{run} already holds run {existing.run_id} over a "
+            f"different grid; use a fresh --run-dir"
+        )
+    if existing.schema_version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{run} was created under point-schema "
+            f"v{existing.schema_version}, this build uses "
+            f"v{SCHEMA_VERSION}; results must not mix"
+        )
+    if existing.calibration and existing.calibration != manifest.calibration:
+        raise ValueError(
+            f"{run} was created under a different device "
+            f"calibration (fingerprint {existing.calibration[:12]}… vs "
+            f"{manifest.calibration[:12]}…); results must not mix"
+        )
+    return existing
 
 
 class ClaimBoard:
-    """Atomic per-point ownership over ``<run_dir>/claims``.
+    """Atomic per-point ownership over a run store's ``claims/`` keys.
 
     One instance per worker; ``owner`` must be unique per worker process
     (see :func:`default_owner`).  All methods take a
-    :class:`~repro.exp.grid.GridPoint` and address its claim file by
+    :class:`~repro.exp.grid.GridPoint` and address its claim record by
     config hash.  ``clock`` is injectable so staleness is testable
-    without sleeping.
+    without sleeping; ``skew`` is the cross-host clock tolerance folded
+    into the staleness check (``stale iff now - heartbeat > ttl +
+    skew``).
+
+    The board tracks the claims it currently holds (:meth:`held`), so a
+    background ticker can keep them alive (:meth:`refresh_held`) while
+    long points compute — see :class:`repro.exp.daemon.HeartbeatTicker`.
     """
 
     def __init__(
         self,
-        run_dir: Union[str, Path],
+        run: RunStore,
         owner: str,
         ttl: float = DEFAULT_TTL,
         clock: Callable[[], float] = time.time,
+        skew: float = DEFAULT_SKEW,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"ttl must be positive, got {ttl}")
-        self.claims_dir = Path(run_dir) / CLAIMS_SUBDIR
-        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        if skew < 0:
+            raise ValueError(f"skew must be non-negative, got {skew}")
+        self.backend = as_backend(run)
+        self.backend.ensure_prefix(CLAIMS_SUBDIR)
         self.owner = owner
         self.ttl = ttl
+        self.skew = skew
         self.clock = clock
-        self._nonce = itertools.count()
+        self._held: set = set()
+        self._held_lock = threading.Lock()
 
-    def _path(self, point: GridPoint) -> Path:
-        return self.claims_dir / f"{point.config_hash()}.claim"
+    def _key(self, point: GridPoint) -> str:
+        return f"{CLAIMS_SUBDIR}/{point.config_hash()}.claim"
 
-    def _create(self, path: Path) -> bool:
-        """Exclusive-create a claim stamped with our heartbeat."""
+    def _record(self) -> bytes:
+        return json.dumps(
+            {"owner": self.owner, "heartbeat": self.clock()}
+        ).encode()
+
+    @staticmethod
+    def _parse(data: bytes) -> Tuple[str, float]:
+        """(owner, heartbeat) of a claim record; an unparseable record
+        reads as an anonymous epoch-old claim — i.e. immediately stale,
+        so garbage can always be stolen through the CAS gate."""
         try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        with os.fdopen(fd, "w") as handle:
-            json.dump({"owner": self.owner, "heartbeat": self.clock()}, handle)
-        return True
-
-    def _read(self, path: Path) -> Optional[Tuple[str, float]]:
-        """(owner, heartbeat) of a claim, or ``None`` if it vanished.
-
-        A claim caught mid-write (created but not yet stamped) falls back
-        to the file's mtime with an unknown owner — still good enough to
-        judge staleness.
-        """
-        try:
-            with open(path) as handle:
-                info = json.load(handle)
+            info = json.loads(data)
             return str(info["owner"]), float(info["heartbeat"])
         except (ValueError, KeyError, TypeError):
-            pass
-        except OSError:
+            return "", 0.0
+
+    def _read(self, key: str) -> Optional[Tuple[str, float]]:
+        """(owner, heartbeat) of a claim, or ``None`` if it vanished."""
+        record = self.backend.read(key)
+        if record is None:
             return None
-        try:
-            return "", os.path.getmtime(path)
-        except OSError:
-            return None
+        return self._parse(record.data)
+
+    def _is_fresh(self, heartbeat: float) -> bool:
+        return self.clock() - heartbeat <= self.ttl + self.skew
+
+    def _track(self, point: GridPoint) -> None:
+        with self._held_lock:
+            self._held.add(point)
+
+    def _untrack(self, point: GridPoint) -> None:
+        with self._held_lock:
+            self._held.discard(point)
+
+    def held(self) -> List[GridPoint]:
+        """The points this board currently believes it owns."""
+        with self._held_lock:
+            return list(self._held)
 
     def try_claim(self, point: GridPoint) -> bool:
         """Attempt to become the sole owner of ``point``.
 
         Returns ``True`` iff this worker now holds the claim.  A held,
-        fresh claim yields ``False``; a stale claim is stolen through the
-        rename tombstone (single winner), after which the exclusive
-        re-create still arbitrates against concurrent fresh claimers.
+        fresh claim yields ``False``; a stale claim is stolen through
+        the backend's compare-and-swap on the exact revision observed
+        (single winner among stealers *and* concurrent fresh claimers).
         """
-        path = self._path(point)
+        key = self._key(point)
         for _ in range(3):
-            if self._create(path):
+            if self.backend.put_exclusive(key, self._record()):
+                self._track(point)
                 return True
-            info = self._read(path)
-            if info is None:
-                continue  # released under us: retry the exclusive create
-            _, heartbeat = info
-            if self.clock() - heartbeat <= self.ttl:
+            record = self.backend.read(key)
+            if record is None:
+                continue  # released under us: retry the exclusive put
+            _, heartbeat = self._parse(record.data)
+            if self._is_fresh(heartbeat):
                 return False
-            tombstone = path.with_name(
-                f"{path.name}.stale-{os.getpid()}-{next(self._nonce)}"
-            )
-            try:
-                os.rename(path, tombstone)
-            except OSError:
-                continue  # another stealer won the rename: retry/observe
-            try:
-                os.unlink(tombstone)
-            except OSError:
-                pass
+            if self.backend.lease(key, self._record(), record.token):
+                self._track(point)
+                return True
+            # lost the CAS to a rival stealer or fresh claimer: observe
+            # the new record (it may itself be stale) and retry
         return False
 
     def refresh(self, point: GridPoint) -> bool:
@@ -343,72 +358,95 @@ class ClaimBoard:
 
         Returns ``False`` (without writing) when the claim is gone or
         owned by someone else — the caller has lost it and must not
-        assume ownership.
+        assume ownership.  The re-stamp itself goes through the CAS
+        :meth:`~repro.exp.backend.StorageBackend.lease` on the exact
+        revision read, never an unconditional write: a claim stolen (or
+        released) between the read and the write stays with its new
+        owner instead of being resurrected by a stale refresher.
         """
-        path = self._path(point)
-        info = self._read(path)
-        if info is None or (info[0] and info[0] != self.owner):
-            return False
-        fd, tmp = tempfile.mkstemp(dir=self.claims_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(
-                    {"owner": self.owner, "heartbeat": self.clock()}, handle
-                )
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return True
+        key = self._key(point)
+        record = self.backend.read(key)
+        if record is not None:
+            owner, _ = self._parse(record.data)
+            if (not owner or owner == self.owner) and self.backend.lease(
+                key, self._record(), record.token
+            ):
+                return True
+        self._untrack(point)
+        return False
+
+    def refresh_held(self) -> int:
+        """Re-stamp every claim this board holds; returns how many are
+        still ours.  This is what the daemon's heartbeat ticker calls,
+        so claims stay fresh while long points compute."""
+        alive = 0
+        for point in self.held():
+            if self.refresh(point):
+                alive += 1
+        return alive
 
     def release(self, point: GridPoint) -> bool:
         """Drop our claim on ``point`` (no-op if it is not ours).
 
-        Release goes through the same rename-then-verify gate stealing
-        uses: if a stealer replaced our (necessarily stale) claim with
-        its own between our read and our rename, we see the foreign
-        owner in the tombstone, put the claim back and report the loss —
-        we never delete a claim that is no longer ours.
+        Release goes through the backend's owner-conditional delete: if
+        a stealer replaced our (necessarily stale) claim with its own
+        between our read and the delete, the foreign record survives
+        and we report the loss — we never delete a claim that is no
+        longer ours.
         """
-        path = self._path(point)
-        info = self._read(path)
+        self._untrack(point)
+        key = self._key(point)
+        info = self._read(key)
         if info is None or info[0] != self.owner:
             return False
-        tombstone = path.with_name(
-            f"{path.name}.release-{os.getpid()}-{next(self._nonce)}"
-        )
-        try:
-            os.rename(path, tombstone)
-        except OSError:
-            return False  # vanished or stolen-and-being-replaced under us
-        owner = (self._read(tombstone) or ("", 0.0))[0]
-        if owner != self.owner:
-            # a stealer's fresh claim was renamed by mistake: restore it
-            # (link-back fails only if yet another claim appeared, in
-            # which case the stolen record is redundant anyway)
-            try:
-                os.link(tombstone, path)
-            except OSError:
-                pass
-        try:
-            os.unlink(tombstone)
-        except OSError:
-            pass
-        return owner == self.owner
+        return self.backend.delete_if_owner(key, self.owner)
 
     def owner_of(self, point: GridPoint) -> Optional[str]:
         """Current claim owner of ``point``, or ``None`` if unclaimed."""
-        info = self._read(self._path(point))
+        info = self._read(self._key(point))
         return info[0] if info is not None else None
 
 
-def pending_points(run_dir: Union[str, Path]) -> List[GridPoint]:
+@dataclass(frozen=True)
+class ClaimConfig:
+    """How a :func:`repro.exp.runner.run_grid` call should claim points.
+
+    ``board`` lets a caller (the daemon) share one pre-built
+    :class:`ClaimBoard` between the runner and a heartbeat ticker;
+    ``stop`` is polled between claim waves so a long drain can be
+    interrupted cleanly (held claims are released on the way out).
+    """
+
+    run_dir: RunStore
+    owner: str
+    ttl: float = DEFAULT_TTL
+    clock: Callable[[], float] = time.time
+    skew: float = DEFAULT_SKEW
+    board: Optional[ClaimBoard] = None
+    stop: Optional[Callable[[], bool]] = None
+
+    def make_board(self) -> ClaimBoard:
+        if self.board is not None:
+            return self.board
+        return ClaimBoard(
+            self.run_dir,
+            owner=self.owner,
+            ttl=self.ttl,
+            clock=self.clock,
+            skew=self.skew,
+        )
+
+    def make_cache(self) -> ResultCache:
+        return run_cache(self.run_dir)
+
+    def should_stop(self) -> bool:
+        return self.stop is not None and bool(self.stop())
+
+
+def pending_points(run: RunStore) -> List[GridPoint]:
     """Grid points of a run with no cache checkpoint yet, in grid order."""
-    manifest = load_manifest(run_dir)
-    cache = ResultCache(Path(run_dir) / CACHE_SUBDIR)
+    manifest = load_manifest(run)
+    cache = run_cache(run)
     return [
         point
         for point in manifest.spec.points()
@@ -417,15 +455,18 @@ def pending_points(run_dir: Union[str, Path]) -> List[GridPoint]:
 
 
 def run_dist_worker(
-    run_dir: Union[str, Path],
+    run: RunStore,
     owner: Optional[str] = None,
     ttl: float = DEFAULT_TTL,
     workers: int = 0,
     point_fn: Callable[[GridPoint], "PointResult"] = run_point,
     progress=None,
     clock: Callable[[], float] = time.time,
+    skew: float = DEFAULT_SKEW,
+    board: Optional[ClaimBoard] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ):
-    """One claim-mode worker pass over an initialised run directory.
+    """One claim-mode worker pass over an initialised run store.
 
     Claims and computes whatever is pending, checkpoints every completed
     point through the shared cache, and returns this worker's (partial)
@@ -437,24 +478,26 @@ def run_dist_worker(
     """
     from repro.exp.runner import run_grid
 
-    manifest = load_manifest(run_dir)
+    manifest = load_manifest(run)
     return run_grid(
         manifest.spec,
         workers=workers,
-        cache_dir=Path(run_dir) / CACHE_SUBDIR,
         progress=progress,
         claim=ClaimConfig(
-            run_dir=run_dir,
+            run_dir=run,
             owner=owner if owner is not None else default_owner(),
             ttl=ttl,
             clock=clock,
+            skew=skew,
+            board=board,
+            stop=stop,
         ),
         point_fn=point_fn,
     )
 
 
-def merge_run(run_dir: Union[str, Path], allow_partial: bool = False):
-    """Assemble the canonical :class:`GridResult` of a run directory.
+def merge_run(run: RunStore, allow_partial: bool = False):
+    """Assemble the canonical :class:`GridResult` of a run store.
 
     Reads every checkpointed point from the shared cache in grid order.
     An incomplete run raises ``ValueError`` naming the first missing
@@ -464,8 +507,8 @@ merge_grid_dicts` can later combine with the stragglers.
     """
     from repro.exp.runner import GridResult
 
-    manifest = load_manifest(run_dir)
-    cache = ResultCache(Path(run_dir) / CACHE_SUBDIR)
+    manifest = load_manifest(run)
+    cache = run_cache(run)
     results = []
     missing = []
     for point in manifest.spec.points():
@@ -491,10 +534,10 @@ merge_grid_dicts` can later combine with the stragglers.
     )
 
 
-def run_payload(run_dir: Union[str, Path], allow_partial: bool = False) -> dict:
-    """A run directory as a grid *document* (dict), carrying the
-    manifest's calibration fingerprint so merges across runs validate
-    against what the points were actually computed under."""
+def run_payload(run: RunStore, allow_partial: bool = False) -> dict:
+    """A run store as a grid *document* (dict), carrying the manifest's
+    calibration fingerprint so merges across runs validate against what
+    the points were actually computed under."""
     from repro.analysis.persistence import grid_to_dict
 
-    return grid_to_dict(merge_run(run_dir, allow_partial=allow_partial))
+    return grid_to_dict(merge_run(run, allow_partial=allow_partial))

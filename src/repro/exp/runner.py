@@ -48,6 +48,7 @@ from repro.exp.grid import GridPoint, GridSpec
 from repro.exp.worker import PointResult, run_point
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime, fine for types
+    from repro.exp.backend import StorageBackend
     from repro.exp.dist import ClaimConfig
 
 ProgressFn = Callable[[PointResult], None]
@@ -102,7 +103,7 @@ def _effective_workers(workers: int, pending: int) -> int:
 def run_grid(
     spec: GridSpec,
     workers: int = 0,
-    cache_dir: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path, "StorageBackend"]] = None,
     progress: Optional[ProgressFn] = None,
     shard: Optional[Tuple[int, int]] = None,
     claim: Optional["ClaimConfig"] = None,
@@ -117,8 +118,9 @@ def run_grid(
         uncached points over ``N`` worker processes.  Results are
         identical either way.
     cache_dir:
-        Directory of the on-disk result cache; ``None`` disables caching
-        (defaults to the claim run directory's ``cache/`` in claim mode).
+        Directory (or :class:`~repro.exp.backend.StorageBackend`) of the
+        result cache; ``None`` disables caching (defaults to the claim
+        run store's ``cache/`` in claim mode).
     progress:
         Optional callback invoked with each :class:`PointResult` as it
         becomes available (cache hits first, then computed points in
@@ -143,15 +145,13 @@ def run_grid(
     """
     started = time.perf_counter()
     board = None
+    cache = None
     if claim is not None:
-        from repro.exp.dist import ClaimBoard
-
+        board = claim.make_board()
         if cache_dir is None:
-            cache_dir = Path(claim.run_dir) / "cache"
-        board = ClaimBoard(
-            claim.run_dir, owner=claim.owner, ttl=claim.ttl, clock=claim.clock
-        )
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+            cache = claim.make_cache()
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
     if shard is not None:
         points = spec.shard(*shard)
     else:
@@ -206,6 +206,10 @@ def run_grid(
             wave_size = max(workers, 1)
             cursor = 0
             while cursor < len(pending):
+                if claim.should_stop():
+                    # a daemon shutting down: stop claiming new work;
+                    # the finally block releases anything still held
+                    break
                 wave: List[GridPoint] = []
                 while cursor < len(pending) and len(wave) < wave_size:
                     point = pending[cursor]
@@ -231,12 +235,12 @@ def run_grid(
             pool.close()
             pool.join()
         if board is not None:
-            # free claims we hold on points we never finished (clean
-            # failure or an early-terminated pool) so peers need not wait
-            # out the TTL; a hard crash skips this and TTL recovery applies
-            for point in pending:
-                if point not in computed:
-                    board.release(point)
+            # free claims we still hold on points we never finished
+            # (clean failure, an early-terminated pool, or a stop
+            # request) so peers need not wait out the TTL; a hard crash
+            # skips this and TTL recovery applies
+            for point in board.held():
+                board.release(point)
 
     return GridResult(
         spec=spec,

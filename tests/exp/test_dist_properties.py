@@ -279,8 +279,8 @@ class TestClaimProtocol:
 
         init_run(tmp_path, self.SPEC)
         point = next(self.SPEC.points())
-        holder = ClaimBoard(tmp_path, owner="holder", ttl=0.001)
-        rival = ClaimBoard(tmp_path, owner="rival", ttl=0.001)
+        holder = ClaimBoard(tmp_path, owner="holder", ttl=0.001, skew=0.0)
+        rival = ClaimBoard(tmp_path, owner="rival", ttl=0.001, skew=0.0)
         assert holder.try_claim(point)
         time.sleep(0.01)  # the holder's claim is now stale
         assert rival.try_claim(point)  # ...and stolen
@@ -340,6 +340,54 @@ class TestClaimProtocol:
         assert rival.try_claim(point)
         assert not holder.refresh(point)
 
+    def test_skewed_clock_does_not_steal_a_live_claim(self, tmp_path):
+        """The cross-host regression the ``skew`` parameter fixes: the
+        holder's clock runs 4 s behind the rival's, so a raw
+        ``time.time()`` comparison ages the heartbeat 4 s early and the
+        rival steals a claim whose real age is still under the TTL.
+        Folding ``skew`` into the staleness check absorbs the offset."""
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        now = [2000.0]  # "real" time; the two hosts read it offset
+        behind = lambda: now[0] - 4.0  # noqa: E731 - tiny test clocks
+        ahead = lambda: now[0]  # noqa: E731
+
+        holder = ClaimBoard(
+            tmp_path, owner="holder", ttl=10.0, clock=behind, skew=5.0
+        )
+        rival = ClaimBoard(
+            tmp_path, owner="rival", ttl=10.0, clock=ahead, skew=5.0
+        )
+        assert holder.try_claim(point)
+        now[0] += 7.0  # real age 7 < ttl, but the rival *sees* age 11
+        assert not rival.try_claim(point), "live claim stolen across skew"
+        assert rival.owner_of(point) == "holder"
+        # genuinely dead (real age 21 > ttl + skew): the steal proceeds
+        now[0] += 14.0
+        assert rival.try_claim(point)
+        assert rival.owner_of(point) == "rival"
+
+    def test_without_skew_tolerance_the_premature_steal_happens(
+        self, tmp_path
+    ):
+        """The control for the regression above: with ``skew=0`` the same
+        4-s clock offset steals a claim that is only 7 s old — exactly
+        the bug the default tolerance exists to prevent."""
+        init_run(tmp_path, self.SPEC)
+        point = next(self.SPEC.points())
+        now = [2000.0]
+        holder = ClaimBoard(
+            tmp_path, owner="holder", ttl=10.0,
+            clock=lambda: now[0] - 4.0, skew=0.0,
+        )
+        rival = ClaimBoard(
+            tmp_path, owner="rival", ttl=10.0,
+            clock=lambda: now[0], skew=0.0,
+        )
+        assert holder.try_claim(point)
+        now[0] += 7.0
+        assert rival.try_claim(point)  # premature: real age is only 7 s
+
 
 class TestMergeEqualsWhole:
     @pytest.mark.parametrize("trial", range(5))
@@ -390,6 +438,58 @@ class TestMergeEqualsWhole:
         merged = merge_run(tmp_path)
         whole = run_grid(spec, point_fn=fake_point)
         assert identity(merged.results) == identity(whole.results)
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_shard_and_claim_modes_compose(self, trial, tmp_path):
+        """Static shards and claim fleets are interchangeable per shard:
+        a grid where shards 2..n are drained statically and shard 1 is
+        instead drained by a fleet of concurrent claim workers still
+        merges to exactly the whole grid — no gaps, no conflicts."""
+        from repro.analysis.persistence import grid_to_dict, merge_grid_dicts
+        from repro.exp.dist import ClaimConfig, run_payload
+
+        rng = random.Random(300 + trial)
+        spec = random_spec(rng)
+        count = rng.randint(2, 4)
+        payloads = [
+            grid_to_dict(run_grid(spec, shard=(i, count), point_fn=fake_point))
+            for i in range(2, count + 1)
+        ]
+        # shard 1 goes to a claim fleet sharing one run directory
+        init_run(tmp_path, spec)
+        barrier = threading.Barrier(3)
+        reports = []
+        lock = threading.Lock()
+
+        def claim_worker(owner):
+            barrier.wait()
+            report = run_grid(
+                spec,
+                shard=(1, count),
+                claim=ClaimConfig(run_dir=tmp_path, owner=owner),
+                point_fn=fake_point,
+            )
+            with lock:
+                reports.append(report)
+
+        threads = [
+            threading.Thread(target=claim_worker, args=(f"w{i}",))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        shard1_size = len(spec.shard(1, count))
+        assert sum(r.cache_misses for r in reports) == shard1_size
+        # the run dir covers only shard 1: read it permissively, then
+        # demand full coverage of the *combined* documents
+        payloads.append(run_payload(tmp_path, allow_partial=True))
+        rng.shuffle(payloads)
+        merged = merge_grid_dicts(payloads)
+        whole = run_grid(spec, point_fn=fake_point)
+        assert identity(merged.results) == identity(whole.results)
+        assert [r.point for r in merged.results] == list(spec.points())
 
     def test_shard_of_real_points_is_bit_identical_to_whole(self):
         """One tiny *simulated* grid proves the physics path composes

@@ -1,7 +1,14 @@
 """Smoke tests for the CLI (fig1 path only; sweeps are benchmark-scale)."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -246,6 +253,133 @@ class TestDistributedSweep:
             == 0
         )
         assert "2 of 8 grid points" in capsys.readouterr().out
+
+
+class TestSubmitFlag:
+    """``sweep --submit``: initialise the run directory, compute nothing."""
+
+    ARGS = TestDistributedSweep.ARGS
+
+    def test_submit_initialises_without_computing(self, tmp_path, capsys):
+        from repro.exp.dist import load_manifest, pending_points
+
+        assert (
+            main(self.ARGS + ["--submit", "--runs-root", str(tmp_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "submitted run" in out
+        assert "python -m repro worker" in out
+        (run_dir,) = [p for p in tmp_path.iterdir() if p.is_dir()]
+        manifest = load_manifest(run_dir)
+        assert len(pending_points(run_dir)) == len(manifest.spec) == 8
+        # a later worker pass (here: --resume) drains the submitted run
+        assert main(["sweep", "--resume", str(run_dir)]) == 0
+        assert "8 computed" in capsys.readouterr().out
+        assert pending_points(run_dir) == []
+
+    def test_submit_hint_names_the_run_dirs_actual_parent(
+        self, tmp_path, capsys
+    ):
+        # with --run-dir, workers must be pointed at the directory that
+        # actually contains the run — not the (unused) --runs-root
+        run_dir = tmp_path / "elsewhere" / "myrun"
+        assert main(self.ARGS + ["--submit", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"--runs-root {tmp_path / 'elsewhere'}" in out
+        assert ".repro-runs" not in out
+
+    def test_submit_is_idempotent(self, tmp_path, capsys):
+        for _ in range(2):
+            assert (
+                main(self.ARGS + ["--submit", "--runs-root", str(tmp_path)])
+                == 0
+            )
+        assert len(list(tmp_path.iterdir())) == 1
+
+
+class TestCliExitCodes:
+    """Documented refusal paths, driven as real subprocesses.
+
+    The function layer pins the ``ValueError`` messages; these pin the
+    *process contract* scripts and CI depend on: each refusal exits
+    non-zero with a one-line reason on stderr (and nothing half-merged
+    on stdout).
+    """
+
+    @staticmethod
+    def _repro(*argv):
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    @staticmethod
+    def _write_shards(tmp_path, mutate=None):
+        """Two complementary half-grid documents (optionally mutated)."""
+        from repro.analysis.persistence import grid_to_dict
+        from repro.exp.runner import run_grid
+
+        from tests.exp.test_dist_properties import fake_point
+        from tests.exp.test_dist_merge import SPEC
+
+        paths = []
+        for i in (1, 2):
+            doc = grid_to_dict(run_grid(SPEC, shard=(i, 2), point_fn=fake_point))
+            if mutate is not None:
+                mutate(i, doc)
+            path = tmp_path / f"shard{i}.json"
+            path.write_text(json.dumps(doc))
+            paths.append(str(path))
+        return paths
+
+    def _assert_refusal(self, result, reason):
+        assert result.returncode != 0, result.stdout
+        stderr = result.stderr.strip()
+        assert reason in stderr, stderr
+        assert len(stderr.splitlines()) == 1, (
+            f"expected a one-line reason, got:\n{stderr}"
+        )
+
+    def test_merge_refuses_mixed_calibrations(self, tmp_path):
+        def mutate(i, doc):
+            doc["calibration"] = ("a" if i == 1 else "f") * 64
+
+        result = self._repro("merge", *self._write_shards(tmp_path, mutate))
+        self._assert_refusal(result, "different device calibrations")
+
+    def test_merge_refuses_a_foreign_spec(self, tmp_path):
+        def mutate(i, doc):
+            if i == 2:
+                doc["spec"]["duration"] = 99.0
+
+        result = self._repro("merge", *self._write_shards(tmp_path, mutate))
+        self._assert_refusal(result, "different grids")
+
+    def test_merge_refuses_incomplete_coverage(self, tmp_path):
+        shard1, _ = self._write_shards(tmp_path)
+        result = self._repro("merge", shard1)
+        self._assert_refusal(result, "cover only")
+        # ...and the documented escape hatch succeeds
+        rescue = self._repro("merge", shard1, "--allow-partial")
+        assert rescue.returncode == 0, rescue.stderr
+
+    def test_merge_refuses_mixed_format_versions(self, tmp_path):
+        def mutate(i, doc):
+            if i == 2:
+                doc["version"] += 1
+
+        result = self._repro("merge", *self._write_shards(tmp_path, mutate))
+        self._assert_refusal(result, "mixed format versions")
+
+    def test_resume_of_unknown_run_fails_cleanly(self, tmp_path):
+        result = self._repro("sweep", "--resume", str(tmp_path / "ghost"))
+        self._assert_refusal(result, "not a run directory")
 
 
 class TestFig1:
