@@ -96,3 +96,31 @@ def emit(filename: str, text: str) -> None:
     _FRESH.add(filename)
     with open(path, mode) as handle:
         handle.write(text + "\n")
+
+
+#: Accumulated JSON snapshots of this session, per target file (emit_json
+#: rewrites the whole document on each call, starting fresh per session —
+#: the same semantics `emit` has for the text blocks).
+_JSON_DOCS: dict = {}
+
+
+def emit_json(filename: str, key: str, payload: dict) -> None:
+    """Record one machine-readable benchmark snapshot under results/.
+
+    ``BENCH_*.json`` files are the perf trajectory future PRs are judged
+    against: one JSON document per benchmark family, one top-level ``key``
+    per measured configuration, rewritten atomically from this session's
+    accumulated snapshots (a partial run never merges stale data from a
+    previous session into its keys).
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = _JSON_DOCS.setdefault(filename, {})
+    doc[key] = payload
+    path = RESULTS_DIR / filename
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    tmp.replace(path)

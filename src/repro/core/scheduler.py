@@ -282,15 +282,21 @@ class SchedulerBase:
     def abort_job(self, job: JobInstance) -> None:
         """Shed a job: abort its pending/resident stages.
 
-        The job's metrics record stays unfinished, so it counts as a
-        deadline miss once its deadline passes.
+        All of the job's in-flight stages are aborted as one device change
+        point (a single settle pass), not one per stage.  The job's metrics
+        record stays unfinished, so it counts as a deadline miss once its
+        deadline passes.
         """
         if job.finished:
             return
         job.aborted = True
-        for stage in job.stages.values():
-            if stage.finish_time is None and stage.kernel is not None:
-                self.device.abort(stage.kernel)
+        kernels = [
+            stage.kernel
+            for stage in job.stages.values()
+            if stage.finish_time is None and stage.kernel is not None
+        ]
+        if kernels:
+            self.device.abort_many(kernels)
         if self.trace is not None:
             self.trace.record(
                 self.engine.now, "job_shed", task=job.task.name, job=job.index

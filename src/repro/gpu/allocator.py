@@ -185,8 +185,15 @@ def compute_allocation(
         aggregate *= overall
     result.aggregate_rate = aggregate
 
-    # Publish onto the kernels for the device's progress accounting.
+    # Publish onto the kernels for the device's progress accounting.  The
+    # rate revision moves only when the published rate differs from the
+    # kernel's current one: unchanged inputs reproduce bit-identical floats,
+    # so an equality check is exact, and the device uses the revision to
+    # skip re-arming completion events whose time is still exact.
     for kernel_id, kernel in kernel_index.items():
         kernel.share = result.shares[kernel_id]
-        kernel.rate = result.rates[kernel_id]
+        rate = result.rates[kernel_id]
+        if rate != kernel.rate:
+            kernel.rate = rate
+            kernel.rate_rev += 1
     return result

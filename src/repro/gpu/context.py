@@ -66,6 +66,12 @@ class SimContext:
         self._queues: Dict[PriorityLevel, List[Tuple[float, int, StageKernel]]] = {
             level: [] for level in PriorityLevel
         }
+        #: Monotonic counter bumped on every stream attach/detach; the device
+        #: compares snapshots of it to detect that the resident set (and
+        #: therefore the whole allocation) is unchanged since the last settle.
+        self.residency_rev = 0
+        self._resident_cache: List[StageKernel] = []
+        self._resident_cache_rev = -1
         #: Identity of the task whose state the partition is configured for;
         #: used by reconfiguration policies (naive pays to change it).
         self.configured_task: Optional[str] = None
@@ -104,8 +110,21 @@ class SimContext:
     # Residency
     # ------------------------------------------------------------------
     def resident_kernels(self) -> List[StageKernel]:
-        """Kernels currently occupying streams."""
-        return [s.kernel for s in self.streams if s.kernel is not None]
+        """Kernels currently occupying streams.
+
+        The list is cached and rebuilt only when a stream attach/detach
+        moved :attr:`residency_rev` — the allocator and device call this on
+        every change point, so the rebuild must not be paid when nothing
+        moved.  Callers must treat the result as read-only (a fresh list
+        object replaces it on the next residency change, so held references
+        stay stable snapshots).
+        """
+        if self._resident_cache_rev != self.residency_rev:
+            self._resident_cache = [
+                s.kernel for s in self.streams if s.kernel is not None
+            ]
+            self._resident_cache_rev = self.residency_rev
+        return self._resident_cache
 
     def free_streams(self, stream_class: Optional[StreamClass] = None) -> List[CudaStream]:
         """Idle streams, optionally filtered by hardware class."""
@@ -137,6 +156,7 @@ class SimContext:
                     self.enqueue(kernel)
                     continue
                 stream.attach(kernel)
+                self.residency_rev += 1
                 dispatched.append(kernel)
                 progressing = True
                 break  # restart from the highest level
@@ -167,6 +187,7 @@ class SimContext:
         for stream in self.streams:
             if stream.kernel is kernel:
                 stream.detach()
+                self.residency_rev += 1
                 return
         kernel.aborted = True
 

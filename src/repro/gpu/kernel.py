@@ -105,6 +105,11 @@ class StageKernel:
         # Execution state, managed by the device/context:
         self.share: float = 0.0
         self.rate: float = 0.0
+        #: Bumped by the allocator whenever the published ``rate`` actually
+        #: changes.  The device re-arms a kernel's provisional completion
+        #: event only when this revision moved: at a constant rate the
+        #: completion time fixed when the rate was last set stays exact.
+        self.rate_rev: int = 0
         self.context_id: Optional[int] = None
         self.stream_id: Optional[int] = None
         self.dispatched_at: Optional[float] = None
@@ -137,11 +142,14 @@ class StageKernel:
         self.setup_remaining = 0.0
         self.work_remaining = 0.0
 
-    def advance(self, elapsed: float) -> None:
+    def advance(self, elapsed: float) -> float:
         """Consume ``elapsed`` seconds of wall time at the current rate.
 
         Setup time burns first (at rate 1, independent of the SM share),
-        then work burns at ``self.rate``.
+        then work burns at ``self.rate``.  Returns the single-SM seconds of
+        *work* actually consumed — setup seconds do not count as work, and
+        the tail past completion consumes nothing — so the device's
+        ``total_work_done`` integral conserves work exactly.
         """
         if elapsed < 0:
             raise ValueError(f"elapsed must be >= 0, got {elapsed}")
@@ -151,10 +159,13 @@ class StageKernel:
             elapsed -= consumed
             if self.setup_remaining < self.WORK_EPS:
                 self.setup_remaining = 0.0
-        if elapsed > 0 and self.rate > 0:
-            self.work_remaining -= elapsed * self.rate
-            if self.work_remaining < self.WORK_EPS:
-                self.work_remaining = 0.0
+        if elapsed <= 0 or self.rate <= 0:
+            return 0.0
+        consumed_work = min(elapsed * self.rate, self.work_remaining)
+        self.work_remaining -= elapsed * self.rate
+        if self.work_remaining < self.WORK_EPS:
+            self.work_remaining = 0.0
+        return consumed_work
 
     def time_to_completion(self) -> float:
         """Wall time until done at the current rate (inf when stalled)."""

@@ -12,6 +12,7 @@ Three contracts the whole evaluation silently relies on:
   pure function: two runs produce bit-identical metrics.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -161,3 +162,120 @@ class TestSeedDeterminism:
             for seed in range(4)
         }
         assert len(runs) > 1, "jitter seeds should change the trajectory"
+
+class TestSheddingWorkConservation:
+    """``abort_job`` (the shedding path) and the device's work accounting.
+
+    Shedding a job mid-flight must neither lose the work its kernels
+    already performed nor conjure work they never did: ``total_work_done``
+    stays within the total work submitted to the device, and busy time
+    within the elapsed span.
+    """
+
+    def _run_shedding(self, num_tasks=32, duration=1.0):
+        from repro.core.context_pool import build_contexts
+        from repro.core.sgprs import SgprsScheduler
+        from repro.gpu.device import GpuDevice
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.metrics import MetricsCollector
+        from repro.sim.trace import TraceRecorder
+
+        class SheddingSgprs(SgprsScheduler):
+            """Admit every release, shed jobs still alive at half-deadline
+            (an aggressive policy that guarantees mid-flight aborts under
+            overload)."""
+
+            name = "sgprs_shedding"
+            admit_all_releases = True
+
+            def _release_job(self, task):
+                super()._release_job(task)
+                job = self._latest_job.get(task.name)
+                if job is not None and not job.finished:
+                    self.engine.schedule_at(
+                        job.release_time + 0.5 * task.relative_deadline,
+                        lambda j=job: self.abort_job(j),
+                        tag=f"shed:{task.name}/j{job.index}",
+                    )
+
+        pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+        tasks = identical_periodic_tasks(
+            num_tasks, nominal_sms=pool.sms_per_context
+        )
+        engine = SimulationEngine()
+        contexts = build_contexts(pool, RTX_2080_TI)
+        trace = TraceRecorder()
+        device = GpuDevice(engine, RTX_2080_TI, contexts, trace=trace)
+        submitted = []
+        original_submit = device.submit
+
+        def tracking_submit(kernel, context):
+            submitted.append(kernel.work_total)
+            original_submit(kernel, context)
+
+        device.submit = tracking_submit
+        scheduler = SheddingSgprs(
+            engine,
+            device,
+            tasks,
+            MetricsCollector(warmup=0.0),
+            trace=trace,
+            horizon=duration,
+        )
+        scheduler.start()
+        engine.run_until(duration)
+        return engine, device, trace, sum(submitted)
+
+    def test_shed_jobs_never_overcount_work(self):
+        engine, device, trace, submitted_work = self._run_shedding()
+        assert trace.kinds().get("job_shed", 0) > 0, (
+            "scenario must actually shed jobs to exercise the abort path"
+        )
+        assert 0.0 < device.total_work_done <= submitted_work + 1e-9
+        assert device.busy_time <= engine.now + 1e-12
+        assert 0.0 < device.utilization() <= 1.0
+
+    def test_shed_work_is_not_lost_from_the_integral(self):
+        # Sharp pin for the integrate-before-detach abort fix: a single
+        # job, shed mid-first-stage with NO intervening change point.
+        # Without the fix the abort detaches the kernel before its only
+        # progress segment is integrated, so total_work_done is exactly 0.
+        from repro.core.context_pool import build_contexts
+        from repro.core.sgprs import SgprsScheduler
+        from repro.gpu.device import GpuDevice
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.metrics import MetricsCollector
+        from repro.sim.trace import TraceRecorder
+
+        # well inside the first stage (it completes at ~0.52 ms on the
+        # full device), so the abort is the only change point after release
+        shed_at = 0.0003
+        pool = ContextPoolConfig.from_oversubscription(1, 1.0, RTX_2080_TI)
+        tasks = identical_periodic_tasks(1, nominal_sms=pool.sms_per_context)
+        engine = SimulationEngine()
+        trace = TraceRecorder()
+        device = GpuDevice(
+            engine, RTX_2080_TI, build_contexts(pool, RTX_2080_TI),
+            trace=trace,
+        )
+        scheduler = SgprsScheduler(
+            engine, device, tasks, MetricsCollector(warmup=0.0),
+            trace=trace, horizon=2 * shed_at,
+        )
+        scheduler.start()
+
+        def shed_the_job():
+            (job,) = scheduler._latest_job.values()
+            scheduler.abort_job(job)
+
+        engine.schedule_at(shed_at, shed_the_job, tag="shed")
+        engine.run_until(2 * shed_at)
+        kinds = trace.kinds()
+        assert kinds.get("job_shed") == 1
+        # precondition for sharpness: the first stage was still running,
+        # so the abort was the only change point after the release
+        assert kinds.get("kernel_done", 0) == 0
+        assert device.busy_time == pytest.approx(shed_at)
+        # the shed kernel's partial progress (rate * shed_at) is integrated;
+        # without the fix this is exactly 0.0
+        assert device.total_work_done > 0.0

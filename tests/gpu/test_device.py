@@ -27,11 +27,13 @@ def make_kernel(label="k", work=1.0, setup=0.0, deadline=1e9,
     )
 
 
-def make_device(num_contexts=1, sms=68.0, cap=1e9, params=IDEAL, trace=None):
-    engine = SimulationEngine()
+def make_device(num_contexts=1, sms=68.0, cap=1e9, params=IDEAL, trace=None,
+                start_time=0.0, rearm="incremental"):
+    engine = SimulationEngine(start_time=start_time)
     spec = GpuDeviceSpec(total_sms=68, aggregate_speedup_cap=cap)
     contexts = [SimContext(i, sms) for i in range(num_contexts)]
-    device = GpuDevice(engine, spec, contexts, params, trace=trace)
+    device = GpuDevice(engine, spec, contexts, params, trace=trace,
+                       rearm=rearm)
     done = []
     device.on_kernel_complete = lambda kernel: done.append(
         (engine.now, kernel.label)
@@ -147,6 +149,48 @@ class TestAbort:
         engine.run()
         assert len(done) == 4
 
+    def test_abort_many_is_one_change_point(self):
+        engine, device, contexts, done = make_device()
+        kernels = [make_kernel(f"k{i}", work=1.0) for i in range(3)]
+        for kernel in kernels:
+            device.submit(kernel, contexts[0])
+        passes_before = device.alloc_passes
+        device.abort_many(kernels[:2])
+        assert device.alloc_passes == passes_before + 1
+        engine.run()
+        assert [label for _, label in done] == ["k2"]
+
+    def test_mid_flight_abort_statistics_invariants(self):
+        # Abort one of two kernels halfway through: work done never exceeds
+        # submitted work, and every accumulator respects its bound.
+        engine, device, contexts, done = make_device()
+        survivor = make_kernel("survivor", work=1.0)
+        victim = make_kernel("victim", work=1.0)
+        device.submit(survivor, contexts[0])
+        device.submit(victim, contexts[0])
+        engine.run_until(0.5 / 34.0)  # both at rate 34, half of victim's life
+        device.abort(victim)
+        engine.run()
+        submitted = 2.0
+        assert [label for _, label in done] == ["survivor"]
+        assert device.total_work_done < submitted
+        # survivor's full work plus the victim's partial progress
+        assert device.total_work_done > 1.0
+        assert device.busy_time <= engine.now + 1e-12
+        assert 0.0 < device.utilization() <= 1.0
+
+    def test_abort_all_work_never_exceeds_progress_made(self):
+        engine, device, contexts, done = make_device()
+        kernels = [make_kernel(f"k{i}", work=1.0) for i in range(4)]
+        for kernel in kernels:
+            device.submit(kernel, contexts[0])
+        engine.run_until(0.25 / 17.0)  # quarter of each kernel's work
+        device.abort_many(kernels)
+        engine.run()
+        assert done == []
+        assert device.total_work_done == pytest.approx(4 * 0.25, rel=1e-9)
+        assert device.busy_time == pytest.approx(0.25 / 17.0)
+
 
 class TestCallbacks:
     def test_callback_can_submit_followup(self):
@@ -173,11 +217,49 @@ class TestStatistics:
         engine.run()
         assert device.total_work_done == pytest.approx(total, rel=1e-6)
 
+    def test_setup_time_does_not_count_as_work(self):
+        # setup burns wall time at rate 1 while the published work rate is
+        # 68: integrating rate * elapsed over the setup span would claim
+        # 0.5 * 68 = 34 single-SM seconds of phantom work for a 1.0 kernel
+        engine, device, contexts, done = make_device()
+        device.submit(make_kernel(work=1.0, setup=0.5), contexts[0])
+        engine.run()
+        assert done[0][0] == pytest.approx(0.5 + 1.0 / 68.0)
+        assert device.total_work_done == pytest.approx(1.0, rel=1e-9)
+        # the device was busy for the whole span, setup included
+        assert device.busy_time == pytest.approx(0.5 + 1.0 / 68.0)
+
     def test_utilization_bounds(self):
         engine, device, contexts, done = make_device()
         device.submit(make_kernel(work=1.0), contexts[0])
         engine.run()
         assert 0.0 < device.utilization() <= 1.0
+
+    def test_utilization_measured_since_construction(self):
+        # A device created at start_time=10 that is busy from 10.0 until its
+        # only kernel completes is 100% utilized over that span — dividing
+        # by absolute `now` would dilute it by the 10 s that predate it.
+        engine, device, contexts, done = make_device(start_time=10.0)
+        device.submit(make_kernel(work=1.0), contexts[0])
+        engine.run()
+        assert engine.now == pytest.approx(10.0 + 1.0 / 68.0)
+        assert device.utilization() == pytest.approx(1.0)
+
+    def test_mean_pressure_measured_since_construction(self):
+        engine, device, contexts, done = make_device(
+            num_contexts=2, sms=68.0, start_time=10.0
+        )
+        device.submit(make_kernel("a", work=1.0), contexts[0])
+        device.submit(make_kernel("b", work=1.0), contexts[1])
+        engine.run()
+        # both contexts demand the full device the whole (busy) time:
+        # pressure 2.0 over the elapsed span, not diluted by t < 10
+        assert device.mean_pressure() == pytest.approx(2.0)
+
+    def test_statistics_zero_before_any_elapsed_time(self):
+        engine, device, contexts, done = make_device(start_time=10.0)
+        assert device.utilization() == 0.0
+        assert device.mean_pressure() == 0.0
 
     def test_trace_records_lifecycle(self):
         trace = TraceRecorder()
@@ -199,6 +281,86 @@ class TestStatistics:
         engine = SimulationEngine()
         with pytest.raises(ValueError):
             GpuDevice(engine, GpuDeviceSpec(), [])
+
+    def test_duplicate_context_ids_rejected(self):
+        engine = SimulationEngine()
+        contexts = [SimContext(0, 34.0), SimContext(0, 34.0)]
+        with pytest.raises(ValueError, match="duplicate context id"):
+            GpuDevice(engine, GpuDeviceSpec(), contexts)
+
+    def test_unknown_rearm_mode_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError, match="rearm"):
+            GpuDevice(
+                engine, GpuDeviceSpec(), [SimContext(0, 34.0)],
+                rearm="bogus",
+            )
+
+
+class TestIncrementalRearm:
+    def test_unchanged_cross_context_rate_keeps_event(self):
+        # Two under-subscribed contexts: submitting into context 1 cannot
+        # change context 0's rates, so only ONE new completion event may be
+        # scheduled (the old design re-armed both: 1 cancel + 2 pushes).
+        engine, device, contexts, done = make_device(num_contexts=2, sms=34.0)
+        device.submit(make_kernel("a", work=1.0), contexts[0])
+        scheduled_before = engine.scheduled_count
+        device.submit(make_kernel("b", work=1.0), contexts[1])
+        assert engine.scheduled_count == scheduled_before + 1
+        engine.run()
+        assert len(done) == 2
+
+    def test_full_mode_rearms_everything(self):
+        engine, device, contexts, done = make_device(
+            num_contexts=2, sms=34.0, rearm="full"
+        )
+        device.submit(make_kernel("a", work=1.0), contexts[0])
+        scheduled_before = engine.scheduled_count
+        device.submit(make_kernel("b", work=1.0), contexts[1])
+        # reference mode churns: re-push for "a" plus the new event for "b"
+        assert engine.scheduled_count == scheduled_before + 2
+        engine.run()
+        assert len(done) == 2
+
+    def test_queue_only_submit_skips_allocation_pass(self):
+        engine, device, contexts, done = make_device()
+        for index in range(4):  # fill all four streams
+            device.submit(make_kernel(f"r{index}", work=1.0), contexts[0])
+        passes = device.alloc_passes
+        skips = device.alloc_skips
+        scheduled_before = engine.scheduled_count
+        device.submit(make_kernel("queued", work=1.0), contexts[0])
+        # the resident set is untouched: no allocation pass, no heap churn
+        assert device.alloc_passes == passes
+        assert device.alloc_skips == skips + 1
+        assert engine.scheduled_count == scheduled_before
+        engine.run()
+        assert len(done) == 5
+
+    def test_skipped_pass_still_traces_allocation(self):
+        trace = TraceRecorder()
+        engine, device, contexts, done = make_device(trace=trace)
+        for index in range(4):
+            device.submit(make_kernel(f"r{index}", work=1.0), contexts[0])
+        allocations = len(trace.of_kind("allocation"))
+        device.submit(make_kernel("queued", work=1.0), contexts[0])
+        assert len(trace.of_kind("allocation")) == allocations + 1
+
+    def test_completion_rearms_only_affected_context(self):
+        # Kernel finishing in context 0 re-arms its context-mates; the
+        # untouched context 1 keeps its event.
+        engine, device, contexts, done = make_device(num_contexts=2, sms=34.0)
+        device.submit(make_kernel("short", work=0.25), contexts[0])
+        device.submit(make_kernel("long", work=1.0), contexts[0])
+        device.submit(make_kernel("other", work=1.0), contexts[1])
+        scheduled_before = engine.scheduled_count
+        # run past short's completion only
+        engine.run(max_events=1)
+        assert [label for _, label in done] == ["short"]
+        # exactly one re-arm: "long" accelerated; "other" was untouched
+        assert engine.scheduled_count == scheduled_before + 1
+        engine.run()
+        assert len(done) == 3
 
 
 class TestMultiContext:

@@ -1,0 +1,184 @@
+"""Trace equivalence: incremental completion re-arming vs. the reference.
+
+The incremental device (``rearm="incremental"``, the default) re-arms a
+kernel's provisional completion event only when its rate revision moved and
+skips the allocation pass entirely when the resident set is untouched.  The
+reference mode (``rearm="full"``) cancels and re-pushes every resident
+kernel's event at every change point — the historical O(K)-per-settle
+behaviour.
+
+These tests pin the optimisation's whole correctness claim: for every named
+scenario, scheduler variant, replication seed and jitter setting, the two
+modes must produce **bit-identical** :class:`TraceRecorder` output (every
+record's exact float timestamp, kind and payload) and identical steady-state
+metrics.  The fast tier runs a one-seed slice on every push; the full
+acceptance matrix (all named scenarios x 3 seeds x jitter on/off x both
+scheduler families) runs in the slow tier.
+"""
+
+import pytest
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.runner import RunConfig, run_simulation
+from repro.core.sgprs import SgprsScheduler
+from repro.exp.grid import GridPoint, resolve_variant
+from repro.gpu.spec import RTX_2080_TI
+from repro.workloads.generator import identical_periodic_tasks
+from repro.workloads.synth.scenarios import taskset_for_point
+
+#: Every named scenario: (scenario name, context count, workload axis).
+NAMED_SCENARIOS = [
+    ("scenario1", 2, "identical"),
+    ("scenario2", 3, "identical"),
+    ("mixed_fleet", 2, "mixed_fleet"),
+    ("surveillance_burst", 3, "surveillance_burst"),
+    ("util_ramp", 2, "util_ramp"),
+]
+
+
+def run_traced(point: GridPoint, rearm_mode: str, scheduler_cls=None):
+    """One fully-traced run of a grid point under a re-arm mode.
+
+    Mirrors :func:`repro.exp.worker.run_point`'s taskset construction, but
+    keeps the trace (the sweep path deliberately drops it).
+    """
+    scheduler, oversubscription, task_stages = resolve_variant(
+        point.variant, point.num_stages
+    )
+    pool = ContextPoolConfig.from_oversubscription(
+        point.num_contexts, oversubscription, RTX_2080_TI
+    )
+    if point.workload == "identical":
+        tasks = identical_periodic_tasks(
+            count=point.num_tasks,
+            nominal_sms=pool.sms_per_context,
+            period=point.period,
+            num_stages=task_stages,
+        )
+    else:
+        tasks = taskset_for_point(
+            point,
+            nominal_sms=pool.sms_per_context,
+            monolithic=task_stages == 1,
+        )
+    return run_simulation(
+        tasks,
+        RunConfig(
+            pool=pool,
+            scheduler=scheduler_cls if scheduler_cls is not None else scheduler,
+            duration=point.duration,
+            warmup=point.warmup,
+            record_trace=True,
+            work_jitter_cv=point.work_jitter_cv,
+            seed=point.seed,
+            rearm_mode=rearm_mode,
+        ),
+    )
+
+
+def canonical_trace(result):
+    """The trace as comparable tuples; floats compare exactly (bitwise)."""
+    return [
+        (record.time, record.kind, tuple(sorted(record.fields.items())))
+        for record in result.trace
+    ]
+
+
+def assert_equivalent(point: GridPoint, scheduler_cls=None):
+    incremental = run_traced(point, "incremental", scheduler_cls)
+    reference = run_traced(point, "full", scheduler_cls)
+    assert canonical_trace(incremental) == canonical_trace(reference)
+    assert incremental.metrics_summary() == reference.metrics_summary()
+
+
+def make_point(scenario, num_contexts, workload, variant, seed, jitter,
+               num_tasks, duration):
+    return GridPoint(
+        scenario=scenario,
+        num_contexts=num_contexts,
+        variant=variant,
+        num_tasks=num_tasks,
+        seed=seed,
+        duration=duration,
+        warmup=duration / 4.0,
+        work_jitter_cv=jitter,
+        workload=workload,
+    )
+
+
+class TestFastSlice:
+    """One-seed slice of the equivalence matrix; runs on every push."""
+
+    @pytest.mark.parametrize(
+        "scenario,num_contexts,workload", NAMED_SCENARIOS
+    )
+    @pytest.mark.parametrize("jitter", [0.0, 0.1])
+    def test_sgprs_trace_equivalence(self, scenario, num_contexts, workload,
+                                     jitter):
+        assert_equivalent(
+            make_point(scenario, num_contexts, workload, "sgprs_1.5",
+                       seed=0, jitter=jitter, num_tasks=5, duration=0.8)
+        )
+
+    @pytest.mark.parametrize(
+        "scenario,num_contexts,workload", NAMED_SCENARIOS[:2]
+    )
+    def test_naive_trace_equivalence(self, scenario, num_contexts, workload):
+        # The naive baseline pays partition-reconfiguration setup time, the
+        # one path where completion times mix setup and rate-based work.
+        assert_equivalent(
+            make_point(scenario, num_contexts, workload, "naive",
+                       seed=0, jitter=0.1, num_tasks=5, duration=0.8)
+        )
+
+
+class _BacklogSgprs(SgprsScheduler):
+    """Admit-everything ablation: queues snowball, change points are dense."""
+
+    name = "sgprs_backlog"
+    admit_all_releases = True
+
+
+class TestSheddingEquivalence:
+    """The abort path (``abort_job`` -> ``GpuDevice.abort_many``)."""
+
+    @pytest.mark.parametrize("jitter", [0.0, 0.1])
+    def test_shedding_run_is_equivalent(self, jitter):
+        point = make_point("scenario1", 2, "identical", "sgprs_1.5",
+                           seed=3, jitter=jitter, num_tasks=8, duration=0.8)
+
+        class SheddingSgprs(_BacklogSgprs):
+            """Backlog admission plus deadline-triggered job shedding."""
+
+            name = "sgprs_shedding"
+
+            def _release_job(self, task):
+                super()._release_job(task)
+                job = self._latest_job.get(task.name)
+                if job is not None and not job.finished:
+                    self.engine.schedule_at(
+                        job.absolute_deadline,
+                        lambda j=job: self.abort_job(j),
+                        tag=f"shed:{task.name}/j{job.index}",
+                    )
+
+        assert_equivalent(point, scheduler_cls=SheddingSgprs)
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    """The acceptance matrix: all named scenarios x 3 seeds x jitter on/off
+    x both scheduler families, bit-identical traces throughout."""
+
+    @pytest.mark.parametrize(
+        "scenario,num_contexts,workload", NAMED_SCENARIOS
+    )
+    @pytest.mark.parametrize("variant", ["sgprs_1.5", "naive"])
+    @pytest.mark.parametrize("jitter", [0.0, 0.1])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_trace_equivalence(self, scenario, num_contexts, workload,
+                               variant, jitter, seed):
+        assert_equivalent(
+            make_point(scenario, num_contexts, workload, variant,
+                       seed=seed, jitter=jitter, num_tasks=6, duration=1.2)
+        )

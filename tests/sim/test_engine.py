@@ -122,6 +122,138 @@ class TestCancellation:
         engine.run()
         assert fired == []
 
+    def test_direct_handle_cancel_updates_pending_count(self):
+        # Event.cancel() is public API on the handle returned by schedule;
+        # it must route through the engine so pending_count stays exact.
+        engine = SimulationEngine()
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending_count == 1
+        engine.run()
+        # draining the heap (including the tombstone) must not drive the
+        # cancelled-pending counter negative
+        assert engine.pending_count == 0
+        assert engine.processed_count == 1
+
+    def test_direct_handle_cancel_is_idempotent_with_engine_cancel(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        event.cancel()
+        engine.cancel(event)
+        event.cancel()
+        assert engine.pending_count == 0
+        engine.run()
+        assert engine.pending_count == 0
+
+    def test_detached_event_cancel_without_engine(self):
+        from repro.sim.engine import Event
+
+        event = Event(time=1.0, seq=0, action=lambda: None)
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancel_after_fire_is_a_noop(self):
+        # A fired event is no longer in the heap; cancelling it (via either
+        # API) must not corrupt the pending-tombstone accounting.
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        event.cancel()
+        engine.cancel(event)
+        assert engine.pending_count == 0
+        engine.schedule(1.0, lambda: None)
+        assert engine.pending_count == 1
+
+
+class TestReschedule:
+    def test_reschedule_preserves_tie_break(self):
+        # a was scheduled before b; rescheduling a must not demote it
+        # behind b at their shared timestamp
+        engine = SimulationEngine()
+        fired = []
+        a = engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(1.0, lambda: fired.append("b"))
+        engine.reschedule(a)
+        engine.run()
+        assert fired == ["a", "b"]
+
+    def test_reschedule_counts_churn_and_tombstones(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        before = engine.scheduled_count
+        engine.reschedule(event)
+        assert engine.scheduled_count == before + 1
+        assert engine.pending_count == 1  # old copy is a tombstone
+        assert engine.heap_size == 2
+
+    def test_reschedule_fired_or_cancelled_rejected(self):
+        from repro.sim.engine import SimulationError
+
+        engine = SimulationEngine()
+        fired_event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.reschedule(fired_event)
+        cancelled_event = engine.schedule(1.0, lambda: None)
+        engine.cancel(cancelled_event)
+        with pytest.raises(SimulationError):
+            engine.reschedule(cancelled_event)
+
+
+class TestCompaction:
+    def test_tombstone_majority_triggers_compaction(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(float(i + 1), lambda: None)
+                  for i in range(SimulationEngine.COMPACT_MIN_SIZE)]
+        for event in events[: SimulationEngine.COMPACT_MIN_SIZE // 2 + 1]:
+            engine.cancel(event)
+        assert engine.compaction_count == 1
+        # tombstones are physically gone, live events all survive
+        assert engine.heap_size == engine.pending_count
+        assert engine.pending_count == (
+            SimulationEngine.COMPACT_MIN_SIZE
+            - SimulationEngine.COMPACT_MIN_SIZE // 2
+            - 1
+        )
+
+    def test_small_heaps_never_compact(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(float(i + 1), lambda: None)
+                  for i in range(8)]
+        for event in events:
+            engine.cancel(event)
+        assert engine.compaction_count == 0
+
+    def test_compaction_preserves_firing_order(self):
+        engine = SimulationEngine()
+        fired = []
+        keep = []
+        for index in range(SimulationEngine.COMPACT_MIN_SIZE * 2):
+            event = engine.schedule(
+                ((index * 37) % 100) * 0.1,
+                lambda i=index: fired.append(i),
+            )
+            if index % 3 == 0:
+                keep.append((((index * 37) % 100) * 0.1, index))
+            else:
+                engine.cancel(event)
+        assert engine.compaction_count >= 1
+        engine.run()
+        assert fired == [i for _, i in sorted(keep)]
+
+    def test_cancel_remains_idempotent_across_compaction(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(float(i + 1), lambda: None)
+                  for i in range(SimulationEngine.COMPACT_MIN_SIZE)]
+        doomed = events[: SimulationEngine.COMPACT_MIN_SIZE // 2 + 1]
+        for event in doomed:
+            engine.cancel(event)
+        for event in doomed:  # second cancel after the rebuild dropped them
+            engine.cancel(event)
+        assert engine.pending_count == len(events) - len(doomed)
+        assert engine.run() == len(events) - len(doomed)
+
 
 class TestRunUntil:
     def test_stops_at_horizon(self):
@@ -140,6 +272,31 @@ class TestRunUntil:
         engine.schedule(3.0, lambda: fired.append(3))
         engine.run_until(3.0)
         assert fired == [3]
+
+    def test_event_half_eps_beyond_horizon_stays_queued(self):
+        from repro.sim.clock import TIME_EPS
+
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0 + TIME_EPS / 2, lambda: fired.append("late"))
+        engine.run_until(3.0)
+        # the boundary is exact-or-under: the clock must never pass the
+        # horizon and then be forced back down over a fired event
+        assert fired == []
+        assert engine.now == 3.0
+        assert engine.pending_count == 1
+        engine.run()
+        assert fired == ["late"]
+
+    def test_event_half_eps_before_horizon_fires(self):
+        from repro.sim.clock import TIME_EPS
+
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0 - TIME_EPS / 2, lambda: fired.append("early"))
+        engine.run_until(3.0)
+        assert fired == ["early"]
+        assert engine.now == 3.0
 
     def test_horizon_before_now_rejected(self):
         engine = SimulationEngine()
@@ -160,6 +317,28 @@ class TestRunUntil:
         fired = engine.run_until(100.0, max_events=3)
         assert fired == 3
         assert engine.pending_count == 7
+
+    def test_max_events_stop_does_not_jump_clock_past_due_events(self):
+        # stopping on max_events with sub-horizon events still queued must
+        # leave the clock at the last fired event, so the remaining events
+        # later fire with their own (correct) timestamps
+        engine = SimulationEngine()
+        times = []
+        for index in range(5):
+            engine.schedule(0.1 * (index + 1), lambda: times.append(engine.now))
+        fired = engine.run_until(100.0, max_events=2)
+        assert fired == 2
+        assert engine.now == pytest.approx(0.2)
+        engine.run()
+        assert times == [pytest.approx(0.1 * (i + 1)) for i in range(5)]
+
+    def test_max_events_stop_at_drained_queue_still_reaches_horizon(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        fired = engine.run_until(5.0, max_events=2)
+        assert fired == 2
+        assert engine.now == 5.0  # limit hit, but nothing due remained
 
     def test_returns_event_count(self):
         engine = SimulationEngine()
