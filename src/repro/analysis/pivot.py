@@ -71,6 +71,31 @@ def find_utilization_pivot(
     return pivot
 
 
+#: Coordinates that may legitimately vary within one variant's pivot scan:
+#: the utilization axis itself plus the seed-replication fields.
+_PIVOT_AXIS_FIELDS = frozenset(
+    {"variant", "total_utilization", "seed", "base_seed", "schema_version"}
+)
+
+
+def _off_axis_identity(point) -> Optional[Tuple]:
+    """The point's coordinates other than (variant, utilization, seed).
+
+    ``None`` for bare duck-typed points without ``config_dict`` — those
+    carry no extra axes to check.
+    """
+    config_dict = getattr(point, "config_dict", None)
+    if config_dict is None:
+        return None
+    return tuple(
+        sorted(
+            (name, value)
+            for name, value in config_dict().items()
+            if name not in _PIVOT_AXIS_FIELDS
+        )
+    )
+
+
 def utilization_pivot_table(
     results, dmr_tolerance: float = 0.0
 ) -> Dict[str, Optional[float]]:
@@ -80,13 +105,35 @@ def utilization_pivot_table(
     (duck-typed: ``.point.variant``, ``.point.total_utilization``,
     ``.dmr``), e.g. ``GridResult.results`` from a utilization-axis grid.
     Replicated seeds of one cell are averaged before pivot detection.
+
+    Within one variant, *only* the utilization axis and the seed may vary:
+    a grid that additionally sweeps ``zoo_mix`` / ``period_class`` /
+    ``deadline_mode`` (or any other coordinate) would otherwise have
+    points from different workloads averaged into one DMR column, and the
+    "pivot" would describe no workload at all.  Such mixtures raise
+    ``ValueError``; run the pivot analysis per axis slice instead.
     """
     samples: Dict[Tuple[str, float], List[float]] = {}
     order: List[str] = []
+    identities: Dict[str, Tuple] = {}
     for result in results:
         variant = result.point.variant
         if variant not in order:
             order.append(variant)
+        identity = _off_axis_identity(result.point)
+        if identity is not None:
+            known = identities.setdefault(variant, identity)
+            if known != identity:
+                drift = [
+                    f"{name}={old!r} vs {new!r}"
+                    for (name, old), (_, new) in zip(known, identity)
+                    if old != new
+                ]
+                raise ValueError(
+                    f"variant {variant!r} mixes utilization columns from "
+                    f"different cells ({'; '.join(drift)}); pivot analysis "
+                    f"needs one axis slice at a time"
+                )
         key = (variant, result.point.total_utilization)
         samples.setdefault(key, []).append(result.dmr)
     return {

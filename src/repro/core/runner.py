@@ -47,10 +47,13 @@ class RunConfig:
         :class:`repro.core.scheduler.SchedulerBase`) and its seed.
     rearm_mode:
         Completion re-arming strategy of the device
-        (:data:`repro.gpu.device.REARM_MODES`): ``"incremental"`` (default)
-        or the reference ``"full"`` re-arm-everything mode.  Both produce
-        bit-identical traces; ``"full"`` exists for equivalence tests and
-        as the engine benchmark baseline.
+        (:data:`repro.gpu.device.REARM_MODES`): ``"incremental"``
+        (default), the reference ``"full"`` re-arm-everything mode, or
+        ``"vectorised"`` (the structure-of-arrays settle core with a
+        single sentinel completion event; requires numpy).  All three
+        produce bit-identical traces; ``"full"`` exists for equivalence
+        tests and as the engine benchmark baseline, ``"vectorised"`` wins
+        in the ceiling-bound (aggregate-cap saturated) regime.
     """
 
     pool: ContextPoolConfig

@@ -41,13 +41,39 @@ def mean_ci(values: Sequence[float]) -> Tuple[float, float]:
     return mean, t * statistics.stdev(values) / math.sqrt(n)
 
 
+#: GridPoint coordinates that identify a *replication* of a cell rather
+#: than the cell itself.  Everything else is part of the cell key.
+_REPLICATION_FIELDS = frozenset({"seed", "base_seed", "schema_version"})
+
+
+def cell_key(point) -> Tuple:
+    """The point's full non-seed coordinate tuple (its aggregation cell).
+
+    Built from :meth:`GridPoint.config_dict` minus the replication fields,
+    so every synthesis axis (``workload``, ``period_class``, ``zoo_mix``,
+    ``deadline_mode``) — and any coordinate added to the grid later —
+    separates cells instead of being silently pooled as extra "seeds".
+    """
+    payload = point.config_dict()
+    return tuple(
+        sorted(
+            (name, value)
+            for name, value in payload.items()
+            if name not in _REPLICATION_FIELDS
+        )
+    )
+
+
 @dataclass(frozen=True)
 class AggregatePoint:
     """Mean +/- 95% CI over seed replications of one sweep cell.
 
     ``total_utilization`` is the cell's target-utilization coordinate on
     synthesized-workload grids (0.0 on identical-workload grids, where the
-    axis does not exist).
+    axis does not exist).  The remaining synthesis axes (``workload``,
+    ``period_class``, ``zoo_mix``, ``deadline_mode``) carry the cell's
+    coordinates on grids that sweep them; on classic grids they keep their
+    :class:`~repro.exp.grid.GridPoint` defaults.
     """
 
     variant: str
@@ -60,37 +86,41 @@ class AggregatePoint:
     mean_utilization: float
     ci_utilization: float
     total_utilization: float = 0.0
+    workload: str = "identical"
+    period_class: str = ""
+    zoo_mix: str = ""
+    deadline_mode: str = ""
 
 
 def aggregate_results(
     results: Sequence[PointResult],
 ) -> Dict[str, List[AggregatePoint]]:
-    """Group results by (variant, task count, target utilization) and
-    reduce over seeds.
+    """Group results by every non-seed coordinate and reduce over seeds.
 
-    Points are grouped across *all* other coordinates being equal only in
-    seed; callers pass the results of one grid, where that holds by
-    construction.  Grid order is preserved: variants, task counts and
-    utilization columns come out in the order the points went in (matching
-    the caller's ``GridSpec``), not re-sorted.
+    A cell is one full :func:`cell_key` — two points land in the same
+    sample only when they differ in nothing but ``seed``/``base_seed``.
+    (A previous version keyed only on ``(variant, num_tasks,
+    total_utilization)``, which silently pooled ``zoo_mix`` /
+    ``period_class`` / ``deadline_mode`` sweeps as if the axis values were
+    replicates, averaging across genuinely different workloads.)
+
+    Grid order is preserved: variants, task counts and axis columns come
+    out in the order the points went in (matching the caller's
+    ``GridSpec``), not re-sorted.
     """
-    cells: Dict[Tuple[str, int, float], List[PointResult]] = {}
+    cells: Dict[Tuple, List[PointResult]] = {}
     for result in results:
-        key = (
-            result.point.variant,
-            result.point.num_tasks,
-            result.point.total_utilization,
-        )
-        cells.setdefault(key, []).append(result)
+        cells.setdefault(cell_key(result.point), []).append(result)
     out: Dict[str, List[AggregatePoint]] = {}
-    for (variant, num_tasks, total_utilization), sample in cells.items():
+    for sample in cells.values():
+        point = sample[0].point
         fps_mean, fps_ci = mean_ci([r.total_fps for r in sample])
         dmr_mean, dmr_ci = mean_ci([r.dmr for r in sample])
         util_mean, util_ci = mean_ci([r.utilization for r in sample])
-        out.setdefault(variant, []).append(
+        out.setdefault(point.variant, []).append(
             AggregatePoint(
-                variant=variant,
-                num_tasks=num_tasks,
+                variant=point.variant,
+                num_tasks=point.num_tasks,
                 n=len(sample),
                 mean_fps=fps_mean,
                 ci_fps=fps_ci,
@@ -98,7 +128,11 @@ def aggregate_results(
                 ci_dmr=dmr_ci,
                 mean_utilization=util_mean,
                 ci_utilization=util_ci,
-                total_utilization=total_utilization,
+                total_utilization=point.total_utilization,
+                workload=point.workload,
+                period_class=point.period_class,
+                zoo_mix=point.zoo_mix,
+                deadline_mode=point.deadline_mode,
             )
         )
     return out
@@ -109,12 +143,32 @@ def to_sweep(results: Sequence[PointResult]):
 
     This is the bridge to the rendering/persistence layers, which predate
     the grid harness.  With one seed per cell it is a lossless conversion.
+
+    ``SweepPoint`` carries only the ``(variant, num_tasks,
+    target_utilization)`` coordinates, so a grid that sweeps any further
+    axis (``zoo_mix``, ``period_class``, ``deadline_mode``, ...) has no
+    faithful classic-sweep representation; rather than silently collapse
+    distinct cells onto one point, this raises ``ValueError`` — aggregate
+    per axis slice instead.
     """
     # Imported here: workloads.scenarios imports repro.exp at module level.
     from repro.workloads.scenarios import SweepPoint
 
     out: Dict[str, List[SweepPoint]] = {}
     for variant, aggregates in aggregate_results(results).items():
+        seen: Dict[Tuple[int, float], AggregatePoint] = {}
+        for agg in aggregates:
+            coord = (agg.num_tasks, agg.total_utilization)
+            other = seen.get(coord)
+            if other is not None:
+                raise ValueError(
+                    f"variant {variant!r} has multiple cells at num_tasks="
+                    f"{agg.num_tasks}, utilization={agg.total_utilization}: "
+                    f"the sweep varies an axis SweepPoint cannot express "
+                    f"(e.g. zoo_mix {other.zoo_mix!r} vs {agg.zoo_mix!r}); "
+                    f"aggregate each axis slice separately"
+                )
+            seen[coord] = agg
         out[variant] = [
             SweepPoint(
                 variant=variant,

@@ -110,7 +110,7 @@ class SimContext:
     # Residency
     # ------------------------------------------------------------------
     def resident_kernels(self) -> List[StageKernel]:
-        """Kernels currently occupying streams.
+        """Kernels currently occupying streams, in stream-index order.
 
         The list is cached and rebuilt only when a stream attach/detach
         moved :attr:`residency_rev` — the allocator and device call this on
@@ -118,6 +118,13 @@ class SimContext:
         moved.  Callers must treat the result as read-only (a fresh list
         object replaces it on the next residency change, so held references
         stay stable snapshots).
+
+        The stream-index ordering is load-bearing: the vectorised settle
+        core (:class:`repro.gpu.table.KernelTable`) assigns one fixed
+        table slot per ``(context, stream index)`` pair and relies on this
+        iteration order matching slot order, so its ``cumsum``-based
+        aggregate sums accumulate in exactly the sequence the scalar
+        allocator's loops do (bit-identical traces across re-arm modes).
         """
         if self._resident_cache_rev != self.residency_rev:
             self._resident_cache = [

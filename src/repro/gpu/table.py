@@ -1,0 +1,446 @@
+"""Structure-of-arrays kernel table: the vectorised settle core.
+
+``GpuDevice(rearm="vectorised")`` keeps every resident kernel's hot state
+(remaining work, setup, rate, share, revision, completion anchor) in flat
+numpy arrays with **one fixed slot per stream** — contexts in device order,
+streams in index order — so slot order equals the resident iteration order
+of the scalar modes.  :class:`~repro.gpu.kernel.StageKernel` stays the API:
+its hot-state attributes are properties that read/write through to the
+bound slot, so schedulers, contexts and tests observe identical values in
+every mode.
+
+Bit-identity with the scalar modes is the design constraint, not an
+accident (``tests/gpu/test_trace_equivalence.py`` pins it).  Three rules
+make it hold:
+
+* order-sensitive float sums use ``np.cumsum`` (strictly sequential, and
+  therefore bitwise-identical to a left-to-right Python loop) or small
+  Python loops — never ``np.sum``, whose pairwise reduction rounds
+  differently;
+* every whole-array expression mirrors the scalar code path branch by
+  branch (:meth:`KernelTable.advance` vs ``StageKernel.advance``,
+  :meth:`completion_times` vs ``StageKernel.time_to_completion``, the
+  closed-form curve evaluation vs ``CompositeWorkload.speedup``);
+* completion anchors for unchanged rates are **never recomputed** — like
+  the incremental mode, a slot's armed time moves only when its published
+  rate does, so anchored times stay exact instead of drifting by ulps.
+
+The rescale-aware win: the per-slot completion anchors *are* the shared
+virtual-time axis.  A ceiling-bound settle (the DRAM/L2
+``aggregate_speedup_cap`` regime) that uniformly rescales every resident
+rate costs one scalar multiply into the rate array, one whole-array anchor
+update, and **one** engine heap operation — the single pending *sentinel*
+event that carries the earliest ``(time, stamp)`` pair — where the
+incremental mode cancels and re-pushes one event per resident and pays one
+speedup-curve evaluation per kernel.  Per-context water-fills and
+speedup-curve values are cached and refreshed only when that context's
+residency (or the device scale) actually moved.
+
+numpy became a runtime dependency with this module (it was dev-only
+before); the scalar modes remain stdlib-only, so the import is guarded
+with a pointer at both remedies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - exercised only without numpy
+    raise ImportError(
+        "the vectorised settle core (rearm='vectorised') requires numpy, "
+        "which is a runtime dependency of repro since PR 6 (see "
+        "requirements.txt).  Install it with 'pip install numpy', or use "
+        "rearm_mode='incremental', which is stdlib-only."
+    ) from exc
+
+from repro.gpu.allocator import AllocationParams, AllocationResult, intra_context_shares
+from repro.gpu.context import SimContext
+from repro.gpu.kernel import StageKernel
+from repro.speedup.composite import CompositeWorkload
+from repro.speedup.model import SaturatingCurve, WidthLimitedCurve
+
+#: Stamp value of slots with no armed completion (stalled or empty); larger
+#: than any engine sequence number so it never wins a tie-break.
+NO_STAMP = np.iinfo(np.int64).max
+
+#: ``StageKernel.time_to_completion`` treats residual work at or below this
+#: as already finished when the rate is zero; mirrored here exactly.
+_STALL_WORK_EPS = 1e-15
+
+
+def _saturating_speedup_array(sigma: float, sms: "np.ndarray") -> "np.ndarray":
+    """Element-wise :meth:`SaturatingCurve.speedup`, branch-exact."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        saturated = sms / (1.0 + sigma * (sms - 1.0))
+    return np.where(sms <= 0.0, 0.0, np.where(sms <= 1.0, sms, saturated))
+
+
+def _composite_speedup_array(
+    curve: CompositeWorkload, sms: "np.ndarray"
+) -> "np.ndarray":
+    """Element-wise :meth:`CompositeWorkload.speedup` over a share vector.
+
+    Accumulates the per-segment times in segment order, exactly like the
+    scalar ``time_at`` loop, so each element is bitwise-identical to the
+    scalar call at that share.
+    """
+    total = np.full(sms.shape, curve.overhead, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for work, segment in curve.segments:
+            clamped = np.minimum(sms, segment.width)
+            inner = _saturating_speedup_array(segment.inner.sigma, clamped)
+            total = total + work / np.maximum(inner, 1e-12)
+        return np.where(sms <= 0.0, 0.0, curve.base_time / total)
+
+
+class KernelTable:
+    """Flat SoA state of every stream slot of a device's context pool.
+
+    One slot per ``(context, stream index)`` pair, fixed at construction;
+    empty slots hold zeros (rates/work) so whole-array passes need no
+    masking for them.  See the module docstring for the layout rationale
+    and the bit-identity rules every method obeys.
+    """
+
+    def __init__(self, contexts: Sequence[SimContext]) -> None:
+        self.contexts: List[SimContext] = list(contexts)
+        self.offsets: List[int] = []
+        total = 0
+        for context in self.contexts:
+            self.offsets.append(total)
+            total += len(context.streams)
+        self.n_slots = total
+        # Hot per-slot state (the facade properties index these).
+        self.occupied = np.zeros(total, dtype=bool)
+        self.work_remaining = np.zeros(total, dtype=np.float64)
+        self.setup_remaining = np.zeros(total, dtype=np.float64)
+        self.rate = np.zeros(total, dtype=np.float64)
+        self.share = np.zeros(total, dtype=np.float64)
+        self.rate_rev = np.zeros(total, dtype=np.int64)
+        # Allocation caches (refreshed per resynced context / scale change).
+        self.intra_share = np.zeros(total, dtype=np.float64)
+        self.speedup = np.zeros(total, dtype=np.float64)
+        self.coloc = np.zeros(total, dtype=np.float64)
+        #: Share at which ``speedup`` was last evaluated; NaN = never.
+        self._speedup_share = np.full(total, np.nan, dtype=np.float64)
+        # Completion anchoring (the virtual-time axis).
+        self.armed_time = np.full(total, np.inf, dtype=np.float64)
+        self.stamp = np.full(total, NO_STAMP, dtype=np.int64)
+        self.kernels: List[Optional[StageKernel]] = [None] * total
+        self.slot_of: Dict[int, int] = {}
+        # Per-context caches, valid while the context's residency_rev holds.
+        n_ctx = len(self.contexts)
+        self._last_rev = [-1] * n_ctx
+        self._granted = [0.0] * n_ctx
+        self._n_resident = [0] * n_ctx
+        self._no_change = np.zeros(total, dtype=bool)
+        #: Curves vetted (by id) for the closed-form vector fast path.
+        self._vectorisable: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Residency sync
+    # ------------------------------------------------------------------
+    def sync(self) -> List[int]:
+        """Mirror stream occupancy into the table; return resynced contexts.
+
+        Lazy: a context is rescanned only when its ``residency_rev`` moved
+        since the last sync.  Replaced slots write the outgoing kernel's
+        state back to its object (unbinding the facade) before the incoming
+        kernel is copied in and bound.
+        """
+        resynced: List[int] = []
+        for ci, context in enumerate(self.contexts):
+            rev = context.residency_rev
+            if rev == self._last_rev[ci]:
+                continue
+            self._last_rev[ci] = rev
+            resynced.append(ci)
+            base = self.offsets[ci]
+            for index, stream in enumerate(context.streams):
+                slot = base + index
+                old = self.kernels[slot]
+                new = stream.kernel
+                if old is new:
+                    continue
+                if old is not None:
+                    self._clear_slot(slot, old)
+                if new is not None:
+                    self._fill_slot(slot, new)
+        return resynced
+
+    def _fill_slot(self, slot: int, kernel: StageKernel) -> None:
+        # Copy object state in *before* binding (the property reads below
+        # still hit the object's private attributes).
+        self.work_remaining[slot] = kernel.work_remaining
+        self.setup_remaining[slot] = kernel.setup_remaining
+        self.rate[slot] = kernel.rate
+        self.share[slot] = kernel.share
+        self.rate_rev[slot] = kernel.rate_rev
+        self.intra_share[slot] = 0.0
+        self.speedup[slot] = 0.0
+        self.coloc[slot] = 0.0
+        self._speedup_share[slot] = np.nan
+        self.armed_time[slot] = np.inf
+        self.stamp[slot] = NO_STAMP
+        self.occupied[slot] = True
+        self.kernels[slot] = kernel
+        self.slot_of[kernel.kernel_id] = slot
+        kernel._bind(self, slot)
+
+    def _clear_slot(self, slot: int, kernel: StageKernel) -> None:
+        work = float(self.work_remaining[slot])
+        setup = float(self.setup_remaining[slot])
+        rate = float(self.rate[slot])
+        share = float(self.share[slot])
+        rev = int(self.rate_rev[slot])
+        kernel._unbind()
+        kernel.work_remaining = work
+        kernel.setup_remaining = setup
+        kernel.rate = rate
+        kernel.share = share
+        kernel.rate_rev = rev
+        self.occupied[slot] = False
+        self.kernels[slot] = None
+        del self.slot_of[kernel.kernel_id]
+        self.work_remaining[slot] = 0.0
+        self.setup_remaining[slot] = 0.0
+        self.rate[slot] = 0.0
+        self.share[slot] = 0.0
+        self.rate_rev[slot] = 0
+        self.intra_share[slot] = 0.0
+        self.speedup[slot] = 0.0
+        self.coloc[slot] = 0.0
+        self._speedup_share[slot] = np.nan
+        self.armed_time[slot] = np.inf
+        self.stamp[slot] = NO_STAMP
+
+    # ------------------------------------------------------------------
+    # Progress integration
+    # ------------------------------------------------------------------
+    def advance(self, elapsed: float) -> Tuple[float, bool]:
+        """Whole-array ``StageKernel.advance``: burn setup, then work.
+
+        Returns ``(work_consumed, busy)`` where ``busy`` mirrors the scalar
+        device's "summed resident rate > 0" test (exact for non-negative
+        rates).  Empty slots hold zeros throughout, so no masking is
+        needed; slots the scalar code would leave untouched (no remaining
+        elapsed time, or zero rate) are left bit-for-bit untouched here
+        too.
+        """
+        eps = StageKernel.WORK_EPS
+        setup = self.setup_remaining
+        consumed_setup = np.minimum(setup, elapsed)
+        setup = setup - consumed_setup
+        setup[setup < eps] = 0.0
+        self.setup_remaining = setup
+        remaining = elapsed - consumed_setup
+        rate = self.rate
+        active = (remaining > 0.0) & (rate > 0.0)
+        work = self.work_remaining
+        delta = remaining * rate
+        consumed_work = np.minimum(delta, work)
+        new_work = work - delta
+        new_work = np.where(new_work < eps, 0.0, new_work)
+        self.work_remaining = np.where(active, new_work, work)
+        # total_work_done is an aggregate statistic, not a trace input, so
+        # pairwise np.sum is fine here.
+        work_done = float(np.sum(np.where(active, consumed_work, 0.0)))
+        return work_done, bool(np.any(rate > 0.0))
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        total_sms: float,
+        aggregate_cap: float,
+        params: AllocationParams,
+        want_dicts: bool,
+    ) -> Tuple[AllocationResult, "np.ndarray"]:
+        """One allocation pass over the table; the vectorised
+        ``compute_allocation``.
+
+        Returns the :class:`AllocationResult` (per-kernel dicts populated
+        only when ``want_dicts``, i.e. when a trace needs them) and the
+        boolean mask of slots whose published rate changed.  Water-fills
+        run through the *scalar* :func:`intra_context_shares` — only for
+        contexts whose residency moved — so the per-context split is the
+        same code, not a re-implementation; everything downstream is
+        whole-array.
+        """
+        resynced = self.sync()
+        for ci in resynced:
+            context = self.contexts[ci]
+            kernels = context.resident_kernels()
+            count = len(kernels)
+            self._n_resident[ci] = count
+            if count == 0:
+                self._granted[ci] = 0.0
+                continue
+            shares = intra_context_shares(kernels, context.nominal_sms)
+            self._granted[ci] = sum(shares.values())
+            colocation = 1.0 / (1.0 + params.beta * (count - 1))
+            for kernel in kernels:
+                slot = self.slot_of[kernel.kernel_id]
+                self.intra_share[slot] = shares.get(kernel.kernel_id, 0.0)
+                self.coloc[slot] = colocation
+
+        # Left-to-right over non-empty contexts, like the scalar pass.
+        granted_total = 0.0
+        for ci in range(len(self.contexts)):
+            if self._n_resident[ci] > 0:
+                granted_total += self._granted[ci]
+
+        result = AllocationResult()
+        if granted_total <= 0.0:
+            return result, self._no_change
+
+        result.pressure = granted_total / total_sms
+        result.device_scale = min(1.0, total_sms / granted_total)
+        contention = 1.0
+        if result.pressure > 1.0:
+            contention = 1.0 / (1.0 + params.alpha * (result.pressure - 1.0))
+
+        share_new = self.intra_share * result.device_scale
+        stale = self.occupied & (share_new != self._speedup_share)
+        if stale.any():
+            self._refresh_speedups(share_new, stale)
+
+        base = self.speedup * self.coloc
+        # Empty slots contribute +0.0, which is exact for the non-negative
+        # partial sums, so the cumulative sum equals the scalar loop that
+        # skips them.
+        aggregate = float(np.cumsum(base)[-1])
+        ceiling_scale = (
+            min(1.0, aggregate_cap / aggregate) if aggregate > 0 else 1.0
+        )
+        overall = ceiling_scale * contention
+        if overall < 1.0:
+            rate_new = base * overall
+            aggregate *= overall
+        else:
+            rate_new = base
+        result.aggregate_rate = aggregate
+
+        changed = self.occupied & (rate_new != self.rate)
+        self.rate_rev[changed] += 1
+        self.rate = rate_new
+        self.share = share_new
+
+        if want_dicts:
+            for slot in np.nonzero(self.occupied)[0].tolist():
+                kernel_id = self.kernels[slot].kernel_id
+                result.shares[kernel_id] = float(share_new[slot])
+                result.rates[kernel_id] = float(rate_new[slot])
+        return result, changed
+
+    def _refresh_speedups(
+        self, share_new: "np.ndarray", stale: "np.ndarray"
+    ) -> None:
+        """Re-evaluate speedup curves where the effective share moved.
+
+        Slots sharing one curve object (identical tasks are common) are
+        evaluated in a single closed-form array pass; anything else falls
+        back to the scalar ``curve.speedup`` per slot.  Both produce the
+        bits the scalar allocator would.
+        """
+        groups: Dict[int, List[int]] = {}
+        for slot in np.nonzero(stale)[0].tolist():
+            groups.setdefault(id(self.kernels[slot].curve), []).append(slot)
+        for slots in groups.values():
+            curve = self.kernels[slots[0]].curve
+            if len(slots) == 1 or not self._can_vectorise(curve):
+                for slot in slots:
+                    self.speedup[slot] = curve.speedup(float(share_new[slot]))
+            else:
+                index = np.array(slots, dtype=np.intp)
+                self.speedup[index] = _composite_speedup_array(
+                    curve, share_new[index]
+                )
+        self._speedup_share[stale] = share_new[stale]
+
+    def _can_vectorise(self, curve) -> bool:
+        key = id(curve)
+        cached = self._vectorisable.get(key)
+        if cached is None:
+            cached = isinstance(curve, CompositeWorkload) and all(
+                isinstance(segment, WidthLimitedCurve)
+                and isinstance(segment.inner, SaturatingCurve)
+                for _, segment in curve.segments
+            )
+            self._vectorisable[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Completion anchoring
+    # ------------------------------------------------------------------
+    def completion_times(self) -> "np.ndarray":
+        """Element-wise ``StageKernel.time_to_completion`` (branch-exact)."""
+        eps = StageKernel.WORK_EPS
+        work = self.work_remaining
+        setup = self.setup_remaining
+        rate = self.rate
+        complete = (setup <= eps) & (work <= eps)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            running = setup + work / rate
+        stalled = np.where(work > _STALL_WORK_EPS, np.inf, setup)
+        return np.where(
+            complete, 0.0, np.where(rate > 0.0, running, stalled)
+        )
+
+    def rearm_changed(self, now: float, engine, changed: "np.ndarray") -> None:
+        """Re-anchor completion times for slots whose rate moved.
+
+        Burns exactly the order stamps the incremental mode's per-kernel
+        ``schedule_at`` calls would consume — one per finitely-armed
+        changed slot, in slot order — via
+        :meth:`~repro.sim.engine.SimulationEngine.allocate_seqs`, so every
+        later event's FIFO tie-break position matches across modes.
+        Unchanged slots keep their anchored times bit-for-bit.
+        """
+        when = now + self.completion_times()
+        when = np.maximum(when, now)
+        finite = changed & (when != np.inf)
+        count = int(np.count_nonzero(finite))
+        if count:
+            first = engine.allocate_seqs(count)
+            ranks = np.cumsum(finite) - 1
+            self.stamp[finite] = first + ranks[finite]
+        infinite = changed & ~finite
+        if infinite.any():
+            self.stamp[infinite] = NO_STAMP
+        self.armed_time[changed] = when[changed]
+
+    def arm_slot(self, slot: int, when: float, stamp: int) -> None:
+        """Anchor one slot's completion (the residual re-arm path)."""
+        self.armed_time[slot] = when
+        self.stamp[slot] = stamp
+
+    def clear_arm(self, slot: int) -> None:
+        """Drop one slot's completion anchor (fired or disarmed)."""
+        self.armed_time[slot] = np.inf
+        self.stamp[slot] = NO_STAMP
+
+    def disarm(self, kernel_id: int) -> Optional[int]:
+        """Drop the anchor of a kernel if it holds a slot; return the slot."""
+        slot = self.slot_of.get(kernel_id)
+        if slot is not None:
+            self.clear_arm(slot)
+        return slot
+
+    def best_armed(self) -> Optional[Tuple[int, float, int]]:
+        """The lexicographically earliest ``(time, stamp)`` anchor.
+
+        This is exactly the completion event the incremental mode's heap
+        would pop next (stamps are unique, so ties on time resolve
+        identically).  ``None`` when nothing is armed.
+        """
+        armed = self.armed_time
+        earliest = armed.min()
+        if earliest == np.inf:
+            return None
+        candidates = armed == earliest
+        slot = int(np.where(candidates, self.stamp, NO_STAMP).argmin())
+        return slot, float(armed[slot]), int(self.stamp[slot])

@@ -11,9 +11,9 @@ import os
 import pytest
 
 from repro.exp.aggregate import aggregate_results, mean_ci, to_sweep
-from repro.exp.grid import GridSpec
+from repro.exp.grid import GridPoint, GridSpec
 from repro.exp.runner import run_grid
-from repro.exp.worker import run_point
+from repro.exp.worker import PointResult, run_point
 
 TINY = GridSpec(
     scenario="scenario1",
@@ -163,6 +163,88 @@ class TestAggregation:
         assert sweep["sgprs_1.5"][0].total_fps == pytest.approx(
             cell.mean_fps
         )
+
+
+def synth_result(zoo_mix, seed=0, dmr=0.0, total_utilization=2.0,
+                 fps=100.0):
+    """A hand-built synth-axis PointResult (no simulation needed)."""
+    point = GridPoint(
+        scenario="util_ramp",
+        num_contexts=2,
+        variant="sgprs_1.5",
+        num_tasks=4,
+        seed=seed,
+        base_seed=seed,
+        workload="util_ramp",
+        total_utilization=total_utilization,
+        zoo_mix=zoo_mix,
+    )
+    return PointResult(
+        point=point,
+        total_fps=fps,
+        dmr=dmr,
+        utilization=0.5,
+        mean_pressure=1.0,
+        released=10,
+        completed=10,
+    )
+
+
+class TestMultiAxisAggregation:
+    """Regression: synthesis axes must separate cells, not pool as seeds.
+
+    A grid sweeping ``zoo_mix`` (or ``period_class`` / ``deadline_mode``)
+    used to collapse onto ``(variant, num_tasks, total_utilization)``
+    cells, averaging genuinely different workloads as if the axis values
+    were replication seeds.
+    """
+
+    def test_distinct_zoo_mixes_form_distinct_cells(self):
+        results = [
+            synth_result("fleet", seed=s, fps=100.0) for s in (0, 1)
+        ] + [
+            synth_result("surveillance", seed=s, fps=200.0) for s in (0, 1)
+        ]
+        aggregates = aggregate_results(results)["sgprs_1.5"]
+        # same variant, num_tasks and utilization — still two cells
+        assert len(aggregates) == 2
+        by_mix = {cell.zoo_mix: cell for cell in aggregates}
+        assert set(by_mix) == {"fleet", "surveillance"}
+        assert by_mix["fleet"].n == 2
+        assert by_mix["fleet"].mean_fps == pytest.approx(100.0)
+        assert by_mix["surveillance"].mean_fps == pytest.approx(200.0)
+
+    def test_same_axes_still_pool_over_seeds(self):
+        results = [synth_result("fleet", seed=s) for s in (0, 1, 2)]
+        (cell,) = aggregate_results(results)["sgprs_1.5"]
+        assert cell.n == 3
+        assert cell.zoo_mix == "fleet"
+        assert cell.workload == "util_ramp"
+
+    def test_to_sweep_rejects_inexpressible_axis(self):
+        results = [synth_result("fleet"), synth_result("surveillance")]
+        with pytest.raises(ValueError, match="zoo_mix"):
+            to_sweep(results)
+
+    def test_pivot_table_rejects_mixed_axis_columns(self):
+        from repro.analysis.pivot import utilization_pivot_table
+
+        mixed = [
+            synth_result("fleet", total_utilization=1.0),
+            synth_result("surveillance", total_utilization=2.0, dmr=0.5),
+        ]
+        with pytest.raises(ValueError, match="zoo_mix"):
+            utilization_pivot_table(mixed)
+
+    def test_pivot_table_accepts_one_axis_slice(self):
+        from repro.analysis.pivot import utilization_pivot_table
+
+        clean = [
+            synth_result("fleet", total_utilization=1.0, dmr=0.0),
+            synth_result("fleet", total_utilization=2.0, dmr=0.0),
+            synth_result("fleet", total_utilization=3.0, dmr=0.4),
+        ]
+        assert utilization_pivot_table(clean) == {"sgprs_1.5": 2.0}
 
 
 @pytest.mark.slow

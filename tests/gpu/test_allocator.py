@@ -89,6 +89,46 @@ class TestIntraContextShares:
         assert intra_context_shares([], 34.0) == {}
 
 
+class TestLeftoverSpread:
+    """Regression pin for the work-conserving leftover spread.
+
+    When every kernel's width demand is satisfied and budget remains, the
+    spread hands the surplus to **every** kernel — width-capped ones
+    included — so final shares deliberately exceed ``width_demand``.  The
+    exact split is part of the trace contract (all three re-arm modes
+    reuse :func:`intra_context_shares` verbatim); see the function's
+    docstring for the rationale.  Changing the spread invalidates every
+    pinned trace at once, so these tests pin the precise values.
+    """
+
+    def test_shares_exceed_width_demand(self):
+        narrow = make_kernel("n", width=3.0)
+        wide = make_kernel("w", width=6.0)
+        shares = intra_context_shares([narrow, wide], 34.0)
+        # Demands total 9; the remaining 25 SMs split equally (equal
+        # weights), pushing both past their recorded width demand.
+        assert shares[narrow.kernel_id] == 3.0 + 25.0 / 2.0
+        assert shares[wide.kernel_id] == 6.0 + 25.0 / 2.0
+        assert shares[narrow.kernel_id] > narrow.width_demand
+        assert shares[wide.kernel_id] > wide.width_demand
+
+    def test_leftover_split_is_weight_proportional(self):
+        high = make_kernel("h", priority=PriorityLevel.HIGH, width=2.0)
+        low = make_kernel("l", priority=PriorityLevel.LOW, width=2.0)
+        shares = intra_context_shares([high, low], 32.0)
+        # 28 leftover SMs split 2:1 by priority weight on top of the
+        # 2-SM demands, exceeding both width demands.
+        leftover = 32.0 - 4.0
+        assert shares[high.kernel_id] == 2.0 + leftover * 2.0 / 3.0
+        assert shares[low.kernel_id] == 2.0 + leftover * 1.0 / 3.0
+
+    def test_spread_remains_work_conserving(self):
+        kernels = [make_kernel(f"k{i}", width=1.0) for i in range(5)]
+        shares = intra_context_shares(kernels, 34.0)
+        assert sum(shares.values()) == pytest.approx(34.0)
+        assert all(s > 1.0 for s in shares.values())
+
+
 class TestComputeAllocation:
     def test_no_kernels(self):
         context = SimContext(0, 34.0)

@@ -1,19 +1,27 @@
-"""Trace equivalence: incremental completion re-arming vs. the reference.
+"""Trace equivalence: all three completion re-arm modes vs. each other.
 
 The incremental device (``rearm="incremental"``, the default) re-arms a
 kernel's provisional completion event only when its rate revision moved and
 skips the allocation pass entirely when the resident set is untouched.  The
 reference mode (``rearm="full"``) cancels and re-pushes every resident
 kernel's event at every change point — the historical O(K)-per-settle
-behaviour.
+behaviour.  The vectorised mode (``rearm="vectorised"``) runs the settle
+core as whole-array passes over a structure-of-arrays kernel table with a
+single sentinel completion event over per-slot ``(armed_time, stamp)``
+anchors (see :mod:`repro.gpu.table`).
 
-These tests pin the optimisation's whole correctness claim: for every named
-scenario, scheduler variant, replication seed and jitter setting, the two
+These tests pin the optimisations' whole correctness claim: for every named
+scenario, scheduler variant, replication seed and jitter setting, all three
 modes must produce **bit-identical** :class:`TraceRecorder` output (every
 record's exact float timestamp, kind and payload) and identical steady-state
 metrics.  The fast tier runs a one-seed slice on every push; the full
 acceptance matrix (all named scenarios x 3 seeds x jitter on/off x both
-scheduler families) runs in the slow tier.
+scheduler families x all three modes) runs in the slow tier.
+
+``TestCeilingBoundRearm`` additionally pins the vectorised mode's headline
+complexity win: in the ceiling-bound regime (aggregate cap saturated, every
+settle a uniform rescale) it pushes O(1) heap events per settle where the
+incremental mode re-arms every resident kernel.
 """
 
 import pytest
@@ -22,7 +30,13 @@ from repro.core.context_pool import ContextPoolConfig
 from repro.core.runner import RunConfig, run_simulation
 from repro.core.sgprs import SgprsScheduler
 from repro.exp.grid import GridPoint, resolve_variant
-from repro.gpu.spec import RTX_2080_TI
+from repro.gpu.allocator import AllocationParams
+from repro.gpu.context import SimContext
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import StageKernel
+from repro.gpu.spec import RTX_2080_TI, GpuDeviceSpec
+from repro.sim.engine import SimulationEngine
+from repro.speedup.model import SaturatingCurve
 from repro.workloads.generator import identical_periodic_tasks
 from repro.workloads.synth.scenarios import taskset_for_point
 
@@ -87,8 +101,12 @@ def canonical_trace(result):
 def assert_equivalent(point: GridPoint, scheduler_cls=None):
     incremental = run_traced(point, "incremental", scheduler_cls)
     reference = run_traced(point, "full", scheduler_cls)
-    assert canonical_trace(incremental) == canonical_trace(reference)
+    vectorised = run_traced(point, "vectorised", scheduler_cls)
+    expected = canonical_trace(reference)
+    assert canonical_trace(incremental) == expected
+    assert canonical_trace(vectorised) == expected
     assert incremental.metrics_summary() == reference.metrics_summary()
+    assert vectorised.metrics_summary() == reference.metrics_summary()
 
 
 def make_point(scenario, num_contexts, workload, variant, seed, jitter,
@@ -163,6 +181,82 @@ class TestSheddingEquivalence:
                     )
 
         assert_equivalent(point, scheduler_cls=SheddingSgprs)
+
+
+class TestCeilingBoundRearm:
+    """The vectorised mode's headline complexity claim, pinned exactly.
+
+    Setup: four contexts sized so summed grants equal the device
+    (``pressure == 1``, ``device_scale == 1``) under a low aggregate
+    ceiling that stays saturated throughout.  Every completion then
+    changes *every* surviving kernel's rate — the aggregate drops, the
+    ceiling rescale factor moves, and the rescale is uniform.  The
+    incremental device must re-arm each survivor (O(K) heap pushes per
+    settle); the vectorised device re-anchors the shared virtual-time
+    axis in the table and refreshes its single sentinel event (O(1)
+    pushes per settle), which is the whole point of the rescale-aware
+    time base.
+    """
+
+    @staticmethod
+    def _completion_push_deltas(rearm):
+        """Heap pushes per completion settle, plus the completion count."""
+        engine = SimulationEngine()
+        spec = GpuDeviceSpec(total_sms=68, aggregate_speedup_cap=10.0)
+        contexts = [SimContext(i, 17.0) for i in range(4)]
+        device = GpuDevice(
+            engine, spec, contexts,
+            AllocationParams(alpha=0.0, beta=0.0), rearm=rearm,
+        )
+        completions = []
+        device.on_kernel_complete = lambda kernel: completions.append(
+            kernel.label
+        )
+        # 16 kernels with distinct work totals: completions are spread out,
+        # so each settle sees one departure and a fresh uniform rescale.
+        for ci, context in enumerate(contexts):
+            for si in range(4):
+                index = ci * 4 + si
+                device.submit(
+                    StageKernel(
+                        label=f"c{ci}s{si}",
+                        curve=SaturatingCurve(0.05),
+                        work=0.5 + 0.25 * index,
+                        width_demand=17.0,
+                        deadline=1e9,
+                    ),
+                    context,
+                )
+        deltas = []
+        while True:
+            before = engine.scheduled_count
+            seen = len(completions)
+            if engine.run(max_events=1) == 0:
+                break
+            assert len(completions) == seen + 1  # only completion events
+            deltas.append(engine.scheduled_count - before)
+        return deltas, completions
+
+    def test_vectorised_rearms_o1_per_settle(self):
+        deltas, completions = self._completion_push_deltas("vectorised")
+        assert len(completions) == 16
+        # One sentinel refresh per settle, no matter how many survivors
+        # got rescaled; the final settle (empty table) pushes nothing.
+        assert all(delta <= 1 for delta in deltas)
+        assert sum(deltas) <= 16
+
+    def test_incremental_rearms_every_survivor(self):
+        deltas, completions = self._completion_push_deltas("incremental")
+        assert len(completions) == 16
+        # After the k-th completion, all (16 - k) survivors changed rate
+        # under the saturated ceiling and must each be re-armed.
+        assert deltas == [16 - k for k in range(1, 17)]
+
+    def test_ceiling_bound_modes_complete_identically(self):
+        _, vec = self._completion_push_deltas("vectorised")
+        _, inc = self._completion_push_deltas("incremental")
+        _, full = self._completion_push_deltas("full")
+        assert vec == inc == full
 
 
 @pytest.mark.slow
