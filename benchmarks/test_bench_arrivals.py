@@ -1,0 +1,189 @@
+"""Open-system arrival-layer benchmark: release throughput under overload.
+
+PR 7 moved job releases out of the scheduler's hard-coded periodic loop
+and into pluggable arrival processes (:mod:`repro.workloads.arrivals`)
+with pluggable admission (:mod:`repro.core.admission`).  The release path
+now runs one generator ``next()`` plus an admission decision per job, so
+this benchmark pins two things:
+
+* the layer stays *deterministic* — identical seeds reproduce identical
+  release/rejection counts run over run (fast tier, count-based, cannot
+  flake on shared CI runners; wall time is reported, not gated);
+* the layer stays *cheap* — jobs released per wall-second under a bursty
+  MMPP overload with bounded-queue admission must hold a floor relative
+  to the closed-system periodic baseline on the same task set (slow
+  tier): the stochastic release path may not cost more than 3x the
+  legacy-equivalent one.
+
+Scenario: a deliberately over-subscribed pool (many tasks per context)
+driven by a hot MMPP process (``burst=8``), so the admission policy is
+exercised on most releases — the worst case for the new layer.
+
+Results land in ``results/bench_arrivals.txt`` (human-readable) and
+``results/BENCH_arrivals.json`` (the machine-readable perf trajectory
+future perf PRs are judged against).
+"""
+
+import time
+
+import pytest
+
+from conftest import emit, emit_json
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.runner import RunConfig, run_simulation
+from repro.core.sgprs import SgprsScheduler
+from repro.gpu.spec import RTX_2080_TI
+from repro.workloads.generator import identical_periodic_tasks
+
+#: Every stochastic process at its bench configuration, plus the periodic
+#: adapter as the closed-system baseline (bit-identical to the legacy
+#: release loop, pinned by tests/gpu/test_trace_equivalence.py).
+ARRIVALS = (
+    ("periodic", ""),
+    ("poisson:rate_scale=1.5", "queue:depth=2"),
+    ("mmpp:burst=8,calm=0.5", "queue:depth=2"),
+    ("diurnal:day=0.5,peak=3", "queue:depth=2"),
+)
+
+
+def run_overload(arrival, admission, num_tasks, duration, seed=0):
+    """One over-subscribed run; returns (RunResult, wall_seconds)."""
+    pool = ContextPoolConfig.from_oversubscription(4, 1.0, RTX_2080_TI)
+    tasks = identical_periodic_tasks(
+        num_tasks, nominal_sms=pool.sms_per_context
+    )
+    config = RunConfig(
+        pool=pool,
+        scheduler=SgprsScheduler,
+        duration=duration,
+        warmup=duration / 4.0,
+        seed=seed,
+        arrival=arrival,
+        admission=admission,
+    )
+    started = time.perf_counter()
+    result = run_simulation(tasks, config)
+    return result, time.perf_counter() - started
+
+
+def measure(num_tasks, duration):
+    """Run every arrival process and collect the comparison record."""
+    rows = {}
+    for arrival, admission in ARRIVALS:
+        result, wall = run_overload(arrival, admission, num_tasks, duration)
+        rows[arrival] = {
+            "admission": admission,
+            "wall_seconds": round(wall, 4),
+            "released": result.released,
+            "completed": result.completed,
+            "rejected": result.rejected,
+            "rejection_rate": round(result.rejection_rate, 4),
+            "goodput": round(result.goodput, 2),
+            "releases_per_second": round(result.released / wall, 1),
+        }
+    periodic = rows["periodic"]["releases_per_second"]
+    return {
+        "scenario": {
+            "device": RTX_2080_TI.name,
+            "num_contexts": 4,
+            "num_tasks": num_tasks,
+            "duration": duration,
+            "scheduler": "sgprs, bounded-queue admission on the "
+            "stochastic processes",
+        },
+        "rows": rows,
+        "overhead_vs_periodic": {
+            arrival: round(periodic / row["releases_per_second"], 2)
+            for arrival, row in rows.items()
+        },
+    }
+
+
+def render(title, record):
+    lines = [
+        f"== {title} ==",
+        "scenario: {device}, {num_contexts} contexts, {num_tasks} tasks, "
+        "{duration:g}s sim, MMPP-overload family".format(
+            **record["scenario"]
+        ),
+        f"{'arrival':<24} {'releases/s':>11} {'wall s':>8} "
+        f"{'released':>9} {'rejected':>9} {'rej rate':>9}",
+    ]
+    for arrival, row in record["rows"].items():
+        lines.append(
+            f"{arrival:<24} {row['releases_per_second']:>11.1f} "
+            f"{row['wall_seconds']:>8.3f} {row['released']:>9} "
+            f"{row['rejected']:>9} {row['rejection_rate']:>9.4f}"
+        )
+    for arrival, ratio in record["overhead_vs_periodic"].items():
+        if arrival != "periodic":
+            lines.append(
+                f"overhead vs periodic ({arrival}): {ratio:.2f}x wall "
+                "per release"
+            )
+    return "\n".join(lines)
+
+
+def test_arrival_layer_deterministic_fast():
+    """Fast-tier guardrail: the open-system release path is seed-exact.
+
+    Two identical bursty-overload runs must agree on every count the
+    sweep harness ships — a deterministic gate (counts cannot flake),
+    with the measured throughput snapshotted for the perf trajectory.
+    """
+    first, wall = run_overload(
+        "mmpp:burst=8,calm=0.5", "queue:depth=2", num_tasks=24, duration=0.5
+    )
+    second, _ = run_overload(
+        "mmpp:burst=8,calm=0.5", "queue:depth=2", num_tasks=24, duration=0.5
+    )
+    assert (first.released, first.completed, first.rejected) == (
+        second.released,
+        second.completed,
+        second.rejected,
+    )
+    assert first.rejected > 0, "bench scenario must exercise admission"
+    other, _ = run_overload(
+        "mmpp:burst=8,calm=0.5", "queue:depth=2",
+        num_tasks=24, duration=0.5, seed=1,
+    )
+    assert (other.released, other.rejected) != (
+        first.released,
+        first.rejected,
+    ), "different seeds must drive different burst patterns"
+    record = {
+        "released": first.released,
+        "completed": first.completed,
+        "rejected": first.rejected,
+        "rejection_rate": round(first.rejection_rate, 4),
+        "wall_seconds": round(wall, 4),
+        "releases_per_second": round(first.released / wall, 1),
+    }
+    emit(
+        "bench_arrivals.txt",
+        "== arrival determinism guardrail (fast) ==\n"
+        + "\n".join(f"{key}: {value}" for key, value in record.items()),
+    )
+    emit_json("BENCH_arrivals.json", "guardrail_fast", record)
+
+
+@pytest.mark.slow
+def test_arrival_throughput():
+    """Slow tier: releases/sec per arrival process under MMPP overload.
+
+    Gates the stochastic release path at <= 3x the periodic baseline's
+    wall cost per release — generator dispatch plus admission must stay
+    noise next to the simulation itself.
+    """
+    record = measure(num_tasks=96, duration=2.0)
+    emit(
+        "bench_arrivals.txt",
+        render("arrival-layer throughput (slow)", record),
+    )
+    emit_json("BENCH_arrivals.json", "throughput", record)
+    for arrival, ratio in record["overhead_vs_periodic"].items():
+        assert ratio <= 3.0, (
+            f"{arrival}: stochastic release path costs {ratio:.2f}x the "
+            "periodic baseline per release (gate: 3x)"
+        )

@@ -39,11 +39,14 @@ FORMAT_VERSION = 1
 #: (workload/utilizations/period_class/zoo_mix/deadline_mode); a v1
 #: reader would choke on the new spec fields, so the bump turns that into
 #: a clean "unsupported version" error there.
-GRID_FORMAT_VERSION = 2
+#: v3: the open-system axes (arrivals/admission on the spec,
+#: arrival/admission per point) plus the v2 result payload (goodput,
+#: rejection rate, tail latency, queue depth).
+GRID_FORMAT_VERSION = 3
 
 #: Versions this reader can load: v1 documents lack the synthesis-axis
-#: fields, which all default.
-_READABLE_GRID_VERSIONS = (1, GRID_FORMAT_VERSION)
+#: fields and v2 documents lack the open-system fields; both default.
+_READABLE_GRID_VERSIONS = (1, 2, GRID_FORMAT_VERSION)
 
 
 def sweep_to_dict(sweep: Dict[str, List[SweepPoint]]) -> dict:
@@ -141,7 +144,7 @@ def grid_from_dict(payload: dict) -> GridResult:
     if version not in _READABLE_GRID_VERSIONS:
         raise ValueError(f"unsupported grid format version: {version!r}")
     spec_fields = dict(payload["spec"])
-    for key in ("variants", "task_counts", "seeds", "utilizations"):
+    for key in ("variants", "task_counts", "seeds", "utilizations", "arrivals"):
         if key in spec_fields:
             spec_fields[key] = tuple(spec_fields[key])
     return GridResult(

@@ -19,6 +19,11 @@ Usage::
     python -m repro sweep --scenario util_ramp --utilizations 1.0,1.5,2.0
     python -m repro synth --scenario surveillance_burst --tasks 8
 
+    # open-system arrivals and admission control (repro.workloads.arrivals)
+    python -m repro sweep --list-arrivals
+    python -m repro sweep --scenario 1 --arrival mmpp:burst=6 --admission queue:depth=2
+    python -m repro synth --scenario mixed_fleet --arrival poisson
+
     # distributed execution (repro.exp.dist): shard / claim / merge
     python -m repro sweep --scenario 1 --shard 2/8 --out shard2.json
     python -m repro sweep --scenario 1 --claim --heartbeat 30
@@ -154,6 +159,18 @@ def _print_scenarios() -> None:
         print(f"  {name:<20} {description}")
 
 
+def _print_arrivals() -> None:
+    from repro.core.admission import list_admission_policies
+    from repro.workloads.arrivals import list_arrivals
+
+    print("registered arrival processes (--arrival SPEC, repeatable):")
+    for name, description in list_arrivals():
+        print(f"  {name:<12} {description}")
+    print("registered admission policies (--admission SPEC):")
+    for name, description in list_admission_policies():
+        print(f"  {name:<12} {description}")
+
+
 def _print_variants() -> None:
     print("built-in variants:")
     print("  naive                single-stage baseline, 1.0x partitions")
@@ -173,6 +190,9 @@ def _sweep(args: argparse.Namespace) -> None:
         return
     if args.list_variants:
         _print_variants()
+        return
+    if args.list_arrivals:
+        _print_arrivals()
         return
     if args.resume:
         _sweep_resume(args)
@@ -372,6 +392,8 @@ def _sweep_paper(scenario: Scenario, args: argparse.Namespace) -> None:
         warmup=warmup,
         seeds=tuple(range(args.seeds)),
         work_jitter_cv=args.jitter_cv,
+        arrivals=tuple(args.arrival or ("periodic",)),
+        admission=args.admission,
     )
     result = _run_spec(grid, args)
     if result is None:  # --submit: initialised only, nothing computed
@@ -405,6 +427,8 @@ def _sweep_synth(args: argparse.Namespace) -> None:
         period_class=args.period_class,
         zoo_mix=args.zoo_mix,
         deadline_mode=args.deadline_mode,
+        arrivals=tuple(args.arrival or ("periodic",)),
+        admission=args.admission,
     )
     result = _run_spec(grid, args)
     if result is None:  # --submit: initialised only, nothing computed
@@ -433,39 +457,97 @@ def _sweep_synth(args: argparse.Namespace) -> None:
 
 
 def _print_count_tables(result, seeds: int) -> None:
-    """The classic task-count-axis tables (seed means or mean±ci95)."""
+    """The classic task-count-axis tables (seed means or mean±ci95).
+
+    A multi-valued ``--arrival`` axis has no classic-sweep shape
+    (``SweepPoint`` carries no arrival coordinate), so the tables are
+    printed once per arrival slice instead of collapsing distinct cells.
+    """
+    from repro.exp.aggregate import aggregate_results, to_sweep
+
     if not result.results:
         print("(no points computed by this worker yet)")
         return
-    if seeds > 1:
-        aggregates = result.aggregate()
-        print(
-            render_aggregate_table(
-                aggregates,
-                "total_fps",
-                title=f"total FPS, mean±ci95 over {seeds} seeds",
+    slices: dict = {}
+    for point_result in result.results:
+        slices.setdefault(point_result.point.arrival, []).append(point_result)
+    for arrival in sorted(slices):
+        subset = slices[arrival]
+        if len(slices) > 1:
+            print(f"--- arrival: {arrival} ---")
+        if seeds > 1:
+            aggregates = aggregate_results(subset)
+            print(
+                render_aggregate_table(
+                    aggregates,
+                    "total_fps",
+                    title=f"total FPS, mean±ci95 over {seeds} seeds",
+                )
             )
-        )
-        print()
-        print(
-            render_aggregate_table(
-                aggregates,
-                "dmr",
-                title=f"deadline miss rate, mean±ci95 over {seeds} seeds",
+            print()
+            print(
+                render_aggregate_table(
+                    aggregates,
+                    "dmr",
+                    title=f"deadline miss rate, mean±ci95 over {seeds} seeds",
+                )
             )
+        else:
+            sweep = to_sweep(subset)
+            print(render_sweep_table(sweep, "total_fps", title="total FPS"))
+            print()
+            print(render_sweep_table(sweep, "dmr", title="deadline miss rate"))
+        _print_open_system_summary(subset)
+        if len(slices) > 1:
+            print()
+
+
+def _print_open_system_summary(results) -> None:
+    """Per-variant rejection/goodput/tail line for open-system slices.
+
+    Silent on closed-system runs (periodic arrivals, nothing rejected)
+    so the classic sweep output stays byte-stable.
+    """
+    if all(
+        r.point.arrival == "periodic" and r.rejected == 0 for r in results
+    ):
+        return
+    by_variant: dict = {}
+    for point_result in results:
+        by_variant.setdefault(point_result.point.variant, []).append(
+            point_result
         )
-    else:
-        sweep = result.sweep()
-        print(render_sweep_table(sweep, "total_fps", title="total FPS"))
-        print()
-        print(render_sweep_table(sweep, "dmr", title="deadline miss rate"))
+    print()
+    print("open-system metrics (mean over points):")
+    for variant in sorted(by_variant):
+        rows = by_variant[variant]
+        rejection = sum(r.rejection_rate for r in rows) / len(rows)
+        goodput = sum(r.goodput for r in rows) / len(rows)
+        p99s = [r.p99_response for r in rows if r.p99_response is not None]
+        tail = (
+            f"p99 {max(p99s) * 1e3:.1f} ms (worst point)"
+            if p99s
+            else "p99 n/a"
+        )
+        print(
+            f"  {variant:<12} reject {rejection * 100:5.2f}%  "
+            f"goodput {goodput:8.1f} fps  {tail}"
+        )
 
 
 def _export(result, args: argparse.Namespace) -> None:
     if args.csv:
-        with open(args.csv, "w") as handle:
-            handle.write(sweep_to_csv(result.sweep()))
-        print(f"CSV written to {args.csv}")
+        try:
+            csv_text = sweep_to_csv(result.sweep())
+        except ValueError as error:
+            print(
+                f"--csv skipped: {error} (use --out for the full "
+                "multi-axis grid JSON)"
+            )
+        else:
+            with open(args.csv, "w") as handle:
+                handle.write(csv_text)
+            print(f"CSV written to {args.csv}")
     if args.out:
         from repro.analysis.persistence import save_grid
 
@@ -535,6 +617,21 @@ def _synth(args: argparse.Namespace) -> None:
     print("analytic demand (fraction of capacity; >1 predicts misses):")
     print(f"  naive ({scenario.num_contexts} contexts): {naive_util:.3f}")
     print(f"  sgprs (saturation ceiling):  {sgprs_util:.3f}")
+    from repro.workloads.arrivals import record_arrivals, resolve_arrival
+
+    process = resolve_arrival(args.arrival)
+    horizon = 4.0
+    events = record_arrivals(process, tasks, horizon=horizon, seed=args.seed)
+    nominal = sum(horizon / task.period for task in tasks)
+    print()
+    print(f"arrival process: {process.name} — {process.describe()}")
+    print(
+        f"  {len(events)} arrivals over {horizon:g}s "
+        f"({nominal:.0f} under strictly periodic releases, "
+        f"{len(events) / nominal:.2f}x nominal demand)"
+        if nominal
+        else f"  {len(events)} arrivals over {horizon:g}s"
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -679,6 +776,32 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         choices=("", "implicit", "constrained"),
         help="override the synth scenario's deadline mode",
+    )
+    sweep.add_argument(
+        "--arrival",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arrival-process axis value, repeatable for a multi-column "
+            "axis (e.g. --arrival poisson --arrival mmpp:burst=6; "
+            "default: periodic — see --list-arrivals)"
+        ),
+    )
+    sweep.add_argument(
+        "--admission",
+        default="",
+        metavar="SPEC",
+        help=(
+            "admission policy for every point (skip / admit_all / reject "
+            "/ queue:depth=N; default: the legacy skip-if-in-flight rule)"
+        ),
+    )
+    sweep.add_argument(
+        "--list-arrivals",
+        action="store_true",
+        help="print the registered arrival processes / admission "
+        "policies and exit",
     )
     sweep.add_argument(
         "--list-scenarios",
@@ -946,6 +1069,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         choices=("", "implicit", "constrained"),
         help="override the scenario's deadline mode",
+    )
+    synth.add_argument(
+        "--arrival",
+        default="periodic",
+        metavar="SPEC",
+        help=(
+            "arrival process to summarise against the taskset "
+            "(default: periodic; see sweep --list-arrivals)"
+        ),
     )
     return parser
 

@@ -6,8 +6,12 @@ This is the layer the examples, benchmarks and sweep harness build on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Type
+from typing import TYPE_CHECKING, Dict, Optional, Type, Union
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.arrivals import ArrivalProcess
+
+from repro.core.admission import AdmissionPolicy, resolve_admission
 from repro.core.context_pool import ContextPoolConfig, build_contexts
 from repro.core.naive import NaiveScheduler, build_naive_contexts
 from repro.core.scheduler import SchedulerBase
@@ -54,6 +58,17 @@ class RunConfig:
         produce bit-identical traces; ``"full"`` exists for equivalence
         tests and as the engine benchmark baseline, ``"vectorised"`` wins
         in the ceiling-bound (aggregate-cap saturated) regime.
+    arrival:
+        Arrival process driving releases: a spec string resolved through
+        the arrivals registry (``"poisson"``, ``"mmpp:burst=6"``, ...),
+        an :class:`~repro.workloads.arrivals.ArrivalProcess` instance, or
+        ``""`` for the strictly periodic default (bit-identical to the
+        legacy release loop).
+    admission:
+        Admission policy: a spec string resolved through the admission
+        registry (``"reject"``, ``"queue:depth=2"``, ...), an
+        :class:`~repro.core.admission.AdmissionPolicy` instance, or
+        ``""`` for the legacy skip-if-in-flight hook.
     """
 
     pool: ContextPoolConfig
@@ -66,6 +81,8 @@ class RunConfig:
     work_jitter_cv: float = 0.0
     seed: int = 0
     rearm_mode: str = "incremental"
+    arrival: Union[str, "ArrivalProcess"] = ""
+    admission: Union[str, AdmissionPolicy] = ""
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -99,6 +116,13 @@ class RunResult:
     mean_pressure: float
     metrics: MetricsCollector
     trace: Optional[TraceRecorder]
+    goodput: float = 0.0
+    rejection_rate: float = 0.0
+    rejected: int = 0
+    p99_response: Optional[float] = None
+    p999_response: Optional[float] = None
+    mean_queue_depth: float = 0.0
+    max_queue_depth: int = 0
 
     def summary(self) -> str:
         """One-line human-readable result."""
@@ -121,6 +145,13 @@ class RunResult:
             "mean_pressure": self.mean_pressure,
             "released": self.released,
             "completed": self.completed,
+            "goodput": self.goodput,
+            "rejection_rate": self.rejection_rate,
+            "rejected": self.rejected,
+            "p99_response": self.p99_response,
+            "p999_response": self.p999_response,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
         }
 
 
@@ -144,6 +175,12 @@ def run_simulation(task_set: TaskSet, config: RunConfig) -> RunResult:
         rearm=config.rearm_mode,
     )
     metrics = MetricsCollector(warmup=config.warmup)
+    arrivals = None
+    if config.arrival:
+        from repro.workloads.arrivals import resolve_arrival
+
+        arrivals = resolve_arrival(config.arrival)
+    admission = resolve_admission(config.admission)
     scheduler = config.scheduler(
         engine,
         device,
@@ -153,6 +190,8 @@ def run_simulation(task_set: TaskSet, config: RunConfig) -> RunResult:
         horizon=config.duration,
         work_jitter_cv=config.work_jitter_cv,
         seed=config.seed,
+        arrivals=arrivals,
+        admission=admission,
     )
     scheduler.start()
     engine.run_until(config.duration)
@@ -168,4 +207,11 @@ def run_simulation(task_set: TaskSet, config: RunConfig) -> RunResult:
         mean_pressure=device.mean_pressure(now),
         metrics=metrics,
         trace=trace if config.record_trace else None,
+        goodput=metrics.goodput(now),
+        rejection_rate=metrics.rejection_rate(now),
+        rejected=metrics.rejected_count(),
+        p99_response=metrics.response_time_percentile(0.99),
+        p999_response=metrics.response_time_percentile(0.999),
+        mean_queue_depth=metrics.mean_queue_depth(now),
+        max_queue_depth=metrics.max_queue_depth(now),
     )

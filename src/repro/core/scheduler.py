@@ -1,19 +1,38 @@
 """Online scheduling plumbing shared by SGPRS and the naive baseline.
 
-``SchedulerBase`` owns the job lifecycle: periodic releases, per-release
+``SchedulerBase`` owns the job lifecycle: releases pulled from an
+arrival source (:mod:`repro.workloads.arrivals`; strictly periodic by
+default), admission control (:mod:`repro.core.admission`), per-release
 absolute deadline assignment (Section IV-B1), stage-by-stage execution on
 the GPU device, and metrics recording.  Concrete schedulers specialise
 
 * :meth:`SchedulerBase.select_context` — the context-assignment policy;
-* :meth:`SchedulerBase.on_job_release` — admission/shedding behaviour;
+* :meth:`SchedulerBase.admit_job` / the ``admission`` policy —
+  admission/shedding behaviour;
 * the reconfiguration policy — what a partition switch costs.
+
+Trace kinds emitted here (see the class docstring for the full list)
+distinguish two ways a release can fail to enter the system:
+
+``job_skip``
+    The frame was dropped *at the source* — the paper's blocking-client
+    model, where a release whose predecessor is still in flight never
+    reaches the server.  Skipped jobs count as deadline misses.
+``job_reject``
+    The *admission controller* refused the job — a deliberate
+    load-shedding decision under overload.  Rejected jobs feed the
+    rejection-rate metric and are excluded from the deadline-miss rate.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
+if TYPE_CHECKING:  # pragma: no cover - workloads imports core at runtime
+    from repro.workloads.arrivals import ArrivalProcess
+
+from repro.core.admission import AdmissionDecision, AdmissionPolicy
 from repro.core.deadlines import absolute_stage_deadlines
 from repro.core.priority import initial_priority, promote_if_predecessor_missed
 from repro.core.task import StageSpec, TaskSet, TaskSpec
@@ -67,6 +86,12 @@ class JobInstance:
         self.stages: Dict[int, StageInstance] = {}
         self.completed = False
         self.aborted = False
+        #: Whether the job passed admission (skipped/rejected jobs never
+        #: enter the system and keep this False).
+        self.admitted = False
+        #: Internal: the job left the in-flight accounting (completed or
+        #: shed); guards double-decrements of the queue-depth counters.
+        self._departed = False
 
     @property
     def finished(self) -> bool:
@@ -93,11 +118,23 @@ class SchedulerBase:
         Optional trace recorder.  The scheduler emits kinds
         ``job_release``, ``job_skip`` (a release dropped at the source
         because the task's previous job was still in flight — see
-        :meth:`admit_job`), ``job_complete``, ``job_shed`` (aborted via
-        :meth:`abort_job`) and ``stage_release``; the device layer adds
-        ``kernel_start``, ``kernel_done`` and ``allocation``.
+        :meth:`admit_job`; counts as a deadline miss), ``job_reject`` (a
+        release refused by the admission policy — counts toward the
+        rejection rate, never toward DMR), ``job_complete``, ``job_shed``
+        (aborted via :meth:`abort_job`) and ``stage_release``; the device
+        layer adds ``kernel_start``, ``kernel_done`` and ``allocation``.
     horizon:
         Releases are only scheduled strictly before this simulated time.
+    arrivals:
+        The :class:`~repro.workloads.arrivals.ArrivalProcess` supplying
+        release times.  ``None`` (the default) is strictly periodic —
+        bit-identical to the historical hardcoded release loop.
+    admission:
+        Optional :class:`~repro.core.admission.AdmissionPolicy`.  ``None``
+        (the default) keeps the legacy boolean :meth:`admit_job` hook,
+        whose stock behaviour is the paper's skip-if-in-flight rule;
+        a policy object takes over the decision and can additionally
+        *reject* jobs (``job_reject``).
     work_jitter_cv:
         Relative half-width of per-stage execution-time jitter: each stage
         instance's work is the nominal work times a uniform factor in
@@ -132,6 +169,8 @@ class SchedulerBase:
         horizon: float = float("inf"),
         work_jitter_cv: float = 0.0,
         seed: int = 0,
+        arrivals: Optional["ArrivalProcess"] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
         if not 0.0 <= work_jitter_cv < 1.0:
             raise ValueError(
@@ -145,9 +184,15 @@ class SchedulerBase:
         self.trace = trace
         self.horizon = horizon
         self.work_jitter_cv = work_jitter_cv
+        self.seed = seed
+        self.arrivals = arrivals
+        self.admission = admission
         self._rng = random.Random(seed)
         self._job_counters: Dict[str, int] = {}
         self._latest_job: Dict[str, JobInstance] = {}
+        self._arrival_streams: Dict[str, Iterator[float]] = {}
+        self._inflight: Dict[str, int] = {}
+        self._inflight_total = 0
         device.on_kernel_complete = self._on_kernel_complete
 
     # ------------------------------------------------------------------
@@ -179,14 +224,46 @@ class SchedulerBase:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Schedule the first release of every task."""
+        """Open every task's arrival stream and schedule its first release."""
+        arrivals = self.arrivals
+        if arrivals is None:
+            # Lazy import: core must stay importable without workloads.
+            from repro.workloads.arrivals import PeriodicArrivals
+
+            arrivals = self.arrivals = PeriodicArrivals()
+        from repro.workloads.arrivals import derive_arrival_seed
+
         for task in self.task_set:
-            if task.release_offset < self.horizon:
-                self.engine.schedule_at(
-                    task.release_offset,
-                    lambda t=task: self._release_job(t),
-                    tag=f"release:{task.name}",
-                )
+            self._arrival_streams[task.name] = arrivals.stream(
+                task, derive_arrival_seed(self.seed, arrivals.name, task.name)
+            )
+            self._schedule_next_release(task)
+
+    def _schedule_next_release(self, task: TaskSpec) -> None:
+        """Pull the task's next arrival and schedule it, if inside horizon.
+
+        A ``None`` from the stream (only replay streams are finite) or an
+        arrival at/past the horizon ends the task's release chain.
+        """
+        when = next(self._arrival_streams[task.name], None)
+        if when is not None and when < self.horizon:
+            self.engine.schedule_at(
+                when,
+                lambda t=task: self._release_job(t),
+                tag=f"release:{task.name}",
+            )
+
+    def _decide(
+        self, job: JobInstance, previous: Optional[JobInstance]
+    ) -> AdmissionDecision:
+        """Route a release through the policy object or the legacy hook."""
+        if self.admission is None:
+            if self.admit_job(job, previous):
+                return AdmissionDecision.ADMIT
+            return AdmissionDecision.SKIP
+        return self.admission.decide(
+            job, previous, self._inflight.get(job.task.name, 0)
+        )
 
     def _release_job(self, task: TaskSpec) -> None:
         index = self._job_counters.get(task.name, 0)
@@ -197,20 +274,34 @@ class SchedulerBase:
         if self.trace is not None:
             self.trace.record(now, "job_release", task=task.name, job=index)
         previous = self._latest_job.get(task.name)
-        if self.admit_job(job, previous):
+        decision = self._decide(job, previous)
+        if decision is AdmissionDecision.ADMIT:
+            job.admitted = True
             self._latest_job[task.name] = job
+            self._inflight[task.name] = self._inflight.get(task.name, 0) + 1
+            self._inflight_total += 1
+            self.metrics.record_queue_depth(now, self._inflight_total)
             self._release_stage(job, 0, predecessor_missed=False)
+        elif decision is AdmissionDecision.REJECT:
+            job.aborted = True
+            self.metrics.job_rejected(task.name, index)
+            if self.trace is not None:
+                self.trace.record(now, "job_reject", task=task.name, job=index)
         else:
             job.aborted = True
             if self.trace is not None:
                 self.trace.record(now, "job_skip", task=task.name, job=index)
-        next_release = now + task.period
-        if next_release < self.horizon:
-            self.engine.schedule_at(
-                next_release,
-                lambda t=task: self._release_job(t),
-                tag=f"release:{task.name}",
-            )
+        self._schedule_next_release(task)
+
+    def _job_departed(self, job: JobInstance) -> None:
+        """Take an admitted job out of the in-flight accounting once."""
+        if not job.admitted or job._departed:
+            return
+        job._departed = True
+        name = job.task.name
+        self._inflight[name] = self._inflight.get(name, 1) - 1
+        self._inflight_total -= 1
+        self.metrics.record_queue_depth(self.engine.now, self._inflight_total)
 
     def _release_stage(
         self, job: JobInstance, stage_index: int, predecessor_missed: bool
@@ -268,6 +359,7 @@ class SchedulerBase:
         if stage.spec.index == job.task.num_stages - 1:
             job.completed = True
             self.metrics.job_completed(job.task.name, job.index, now)
+            self._job_departed(job)
             if self.trace is not None:
                 self.trace.record(
                     now, "job_complete", task=job.task.name, job=job.index
@@ -297,6 +389,7 @@ class SchedulerBase:
         ]
         if kernels:
             self.device.abort_many(kernels)
+        self._job_departed(job)
         if self.trace is not None:
             self.trace.record(
                 self.engine.now, "job_shed", task=job.task.name, job=job.index

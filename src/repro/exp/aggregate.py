@@ -90,6 +90,12 @@ class AggregatePoint:
     period_class: str = ""
     zoo_mix: str = ""
     deadline_mode: str = ""
+    arrival: str = "periodic"
+    admission: str = ""
+    mean_goodput: float = 0.0
+    ci_goodput: float = 0.0
+    mean_rejection_rate: float = 0.0
+    ci_rejection_rate: float = 0.0
 
 
 def aggregate_results(
@@ -117,6 +123,8 @@ def aggregate_results(
         fps_mean, fps_ci = mean_ci([r.total_fps for r in sample])
         dmr_mean, dmr_ci = mean_ci([r.dmr for r in sample])
         util_mean, util_ci = mean_ci([r.utilization for r in sample])
+        goodput_mean, goodput_ci = mean_ci([r.goodput for r in sample])
+        reject_mean, reject_ci = mean_ci([r.rejection_rate for r in sample])
         out.setdefault(point.variant, []).append(
             AggregatePoint(
                 variant=point.variant,
@@ -133,6 +141,12 @@ def aggregate_results(
                 period_class=point.period_class,
                 zoo_mix=point.zoo_mix,
                 deadline_mode=point.deadline_mode,
+                arrival=point.arrival,
+                admission=point.admission,
+                mean_goodput=goodput_mean,
+                ci_goodput=goodput_ci,
+                mean_rejection_rate=reject_mean,
+                ci_rejection_rate=reject_ci,
             )
         )
     return out
@@ -161,11 +175,24 @@ def to_sweep(results: Sequence[PointResult]):
             coord = (agg.num_tasks, agg.total_utilization)
             other = seen.get(coord)
             if other is not None:
+                differing = ", ".join(
+                    f"{axis} {getattr(other, axis)!r} vs "
+                    f"{getattr(agg, axis)!r}"
+                    for axis in (
+                        "workload",
+                        "period_class",
+                        "zoo_mix",
+                        "deadline_mode",
+                        "arrival",
+                        "admission",
+                    )
+                    if getattr(other, axis) != getattr(agg, axis)
+                )
                 raise ValueError(
                     f"variant {variant!r} has multiple cells at num_tasks="
                     f"{agg.num_tasks}, utilization={agg.total_utilization}: "
                     f"the sweep varies an axis SweepPoint cannot express "
-                    f"(e.g. zoo_mix {other.zoo_mix!r} vs {agg.zoo_mix!r}); "
+                    f"({differing or 'replication coordinates'}); "
                     f"aggregate each axis slice separately"
                 )
             seen[coord] = agg

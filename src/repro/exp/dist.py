@@ -177,7 +177,7 @@ class RunManifest:
                 f"unsupported manifest format: {payload.get('format')!r}"
             )
         spec_fields = dict(payload["spec"])
-        for key in ("variants", "task_counts", "seeds", "utilizations"):
+        for key in ("variants", "task_counts", "seeds", "utilizations", "arrivals"):
             if key in spec_fields:
                 spec_fields[key] = tuple(spec_fields[key])
         return cls(

@@ -36,7 +36,8 @@ from repro.workloads.generator import DEFAULT_NUM_STAGES, DEFAULT_PERIOD
 #: Bumped whenever point evaluation semantics change, invalidating caches.
 #: v2: workload-synthesis axes (workload / total_utilization / period_class
 #: / zoo_mix / deadline_mode) joined the point identity.
-SCHEMA_VERSION = 2
+#: v3: open-system axes (arrival / admission) joined the point identity.
+SCHEMA_VERSION = 3
 
 #: A resolver maps a requested stage count to
 #: (scheduler class, over-subscription level, stages per task).
@@ -93,6 +94,22 @@ def _validate_workload_axes(
         raise ValueError(
             f"deadline_mode must be one of {DEADLINE_MODES}, got {deadline_mode!r}"
         )
+
+
+def _validate_open_system_axes(arrival: str, admission: str) -> None:
+    """Fail fast on unknown arrival/admission specs.
+
+    Both resolvers build a throwaway instance, which also validates the
+    spec's parameters.  Lazy import for the same cycle reason as the
+    synth axes.
+    """
+    if not arrival:
+        raise ValueError("arrival must be non-empty (use 'periodic')")
+    from repro.core.admission import resolve_admission
+    from repro.workloads.arrivals import resolve_arrival
+
+    resolve_arrival(arrival)
+    resolve_admission(admission)
 
 
 def register_variant(name: str, resolver: VariantResolver) -> None:
@@ -175,6 +192,8 @@ class GridPoint:
     period_class: str = ""
     zoo_mix: str = ""
     deadline_mode: str = ""
+    arrival: str = "periodic"
+    admission: str = ""
 
     def __post_init__(self) -> None:
         if self.num_tasks < 1:
@@ -191,21 +210,27 @@ class GridPoint:
             self.zoo_mix,
             self.deadline_mode,
         )
+        _validate_open_system_axes(self.arrival, self.admission)
 
     @property
     def label(self) -> str:
         """Short human-readable identity, e.g. ``scenario1/sgprs_1.5/n25/s0``
         (synth points insert the workload and utilization:
-        ``util_ramp/u2.5/naive/n8/s0``)."""
+        ``util_ramp/u2.5/naive/n8/s0``; non-periodic arrivals append the
+        arrival spec: ``.../s0/mmpp:burst=6``)."""
         if self.workload == "identical":
-            return (
+            label = (
                 f"{self.scenario}/{self.variant}/n{self.num_tasks}"
                 f"/s{self.base_seed}"
             )
-        return (
-            f"{self.workload}/u{self.total_utilization:g}/{self.variant}"
-            f"/n{self.num_tasks}/s{self.base_seed}"
-        )
+        else:
+            label = (
+                f"{self.workload}/u{self.total_utilization:g}/{self.variant}"
+                f"/n{self.num_tasks}/s{self.base_seed}"
+            )
+        if self.arrival != "periodic":
+            label += f"/{self.arrival}"
+        return label
 
     def config_dict(self) -> dict:
         """Canonical serialisable form (includes the schema version)."""
@@ -238,6 +263,11 @@ class GridSpec:
     scenario), ``utilizations`` adds a target-total-utilization axis: the
     grid becomes variant x task count x utilization x seed.  An empty
     ``utilizations`` runs one column at the scenario's default target.
+
+    ``arrivals`` is the open-system axis: one arrival-process spec per
+    column (default strictly periodic, the closed-system baseline), with
+    ``admission`` selecting the admission policy for the whole grid
+    ("" = the legacy skip-if-in-flight behaviour).
     """
 
     scenario: str
@@ -256,8 +286,14 @@ class GridSpec:
     period_class: str = ""
     zoo_mix: str = ""
     deadline_mode: str = ""
+    arrivals: Tuple[str, ...] = ("periodic",)
+    admission: str = ""
 
     def __post_init__(self) -> None:
+        if not self.arrivals:
+            raise ValueError("arrivals must be non-empty")
+        for arrival in self.arrivals:
+            _validate_open_system_axes(arrival, self.admission)
         if not self.variants:
             raise ValueError("variants must be non-empty")
         if not self.task_counts:
@@ -300,6 +336,7 @@ class GridSpec:
             len(self.variants)
             * len(self.task_counts)
             * len(self._utilization_axis())
+            * len(self.arrivals)
             * len(self.seeds)
         )
 
@@ -329,7 +366,7 @@ class GridSpec:
 
     def points(self) -> Iterator[GridPoint]:
         """Enumerate the grid in deterministic (variant, count, utilization,
-        seed) order.
+        arrival, seed) order.
 
         With jitter enabled each point gets a derived simulation seed; with
         zero jitter the replication seed is passed through unchanged (the
@@ -341,37 +378,40 @@ class GridSpec:
         for variant in self.variants:
             for count in self.task_counts:
                 for utilization in self._utilization_axis():
-                    for base_seed in self.seeds:
-                        if self.work_jitter_cv > 0.0:
-                            if self.workload == "identical":
-                                coords = (self.scenario, variant, count)
+                    for arrival in self.arrivals:
+                        for base_seed in self.seeds:
+                            if self.work_jitter_cv > 0.0:
+                                if self.workload == "identical":
+                                    coords = (self.scenario, variant, count)
+                                else:
+                                    coords = (
+                                        self.scenario,
+                                        self.workload,
+                                        variant,
+                                        count,
+                                        round(utilization, 9),
+                                    )
+                                seed = derive_seed(base_seed, *coords)
                             else:
-                                coords = (
-                                    self.scenario,
-                                    self.workload,
-                                    variant,
-                                    count,
-                                    round(utilization, 9),
-                                )
-                            seed = derive_seed(base_seed, *coords)
-                        else:
-                            seed = base_seed
-                        yield GridPoint(
-                            scenario=self.scenario,
-                            num_contexts=self.num_contexts,
-                            variant=variant,
-                            num_tasks=count,
-                            seed=seed,
-                            base_seed=base_seed,
-                            duration=self.duration,
-                            warmup=self.warmup,
-                            work_jitter_cv=self.work_jitter_cv,
-                            num_stages=self.num_stages,
-                            period=self.period,
-                            allow_stream_borrowing=self.allow_stream_borrowing,
-                            workload=self.workload,
-                            total_utilization=utilization,
-                            period_class=self.period_class,
-                            zoo_mix=self.zoo_mix,
-                            deadline_mode=self.deadline_mode,
-                        )
+                                seed = base_seed
+                            yield GridPoint(
+                                scenario=self.scenario,
+                                num_contexts=self.num_contexts,
+                                variant=variant,
+                                num_tasks=count,
+                                seed=seed,
+                                base_seed=base_seed,
+                                duration=self.duration,
+                                warmup=self.warmup,
+                                work_jitter_cv=self.work_jitter_cv,
+                                num_stages=self.num_stages,
+                                period=self.period,
+                                allow_stream_borrowing=self.allow_stream_borrowing,
+                                workload=self.workload,
+                                total_utilization=utilization,
+                                period_class=self.period_class,
+                                zoo_mix=self.zoo_mix,
+                                deadline_mode=self.deadline_mode,
+                                arrival=arrival,
+                                admission=self.admission,
+                            )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.context_pool import ContextPoolConfig
 from repro.core.runner import RunConfig, run_simulation
@@ -19,7 +20,12 @@ from repro.exp.grid import GridPoint, resolve_variant
 from repro.gpu.spec import RTX_2080_TI
 from repro.workloads.generator import identical_periodic_tasks
 
-RESULT_VERSION = 1
+#: v2: open-system metrics (goodput / rejection rate / tail latency /
+#: queue depth) joined the result payload.  v1 records are still readable
+#: (the new fields default to "closed-system run" values).
+RESULT_VERSION = 2
+
+_READABLE_RESULT_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -28,7 +34,8 @@ class PointResult:
 
     ``elapsed`` is the wall-clock cost of computing the point (0.0 when the
     value came from the cache); it is provenance, not part of the result
-    identity.
+    identity.  ``p99_response`` / ``p999_response`` are ``None`` when no
+    post-warmup job completed (nothing to take a percentile of).
     """
 
     point: GridPoint
@@ -39,6 +46,13 @@ class PointResult:
     released: int
     completed: int
     elapsed: float = 0.0
+    goodput: float = 0.0
+    rejection_rate: float = 0.0
+    rejected: int = 0
+    p99_response: Optional[float] = None
+    p999_response: Optional[float] = None
+    mean_queue_depth: float = 0.0
+    max_queue_depth: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (used by the on-disk cache)."""
@@ -52,18 +66,25 @@ class PointResult:
             "released": self.released,
             "completed": self.completed,
             "elapsed": self.elapsed,
+            "goodput": self.goodput,
+            "rejection_rate": self.rejection_rate,
+            "rejected": self.rejected,
+            "p99_response": self.p99_response,
+            "p999_response": self.p999_response,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "PointResult":
-        """Inverse of :meth:`to_dict`.
+        """Inverse of :meth:`to_dict` (v1 records load with defaults).
 
         Raises
         ------
         ValueError
             On a missing or unsupported result version.
         """
-        if payload.get("version") != RESULT_VERSION:
+        if payload.get("version") not in _READABLE_RESULT_VERSIONS:
             raise ValueError(
                 f"unsupported result version: {payload.get('version')!r}"
             )
@@ -76,6 +97,13 @@ class PointResult:
             released=payload["released"],
             completed=payload["completed"],
             elapsed=payload.get("elapsed", 0.0),
+            goodput=payload.get("goodput", 0.0),
+            rejection_rate=payload.get("rejection_rate", 0.0),
+            rejected=payload.get("rejected", 0),
+            p99_response=payload.get("p99_response"),
+            p999_response=payload.get("p999_response"),
+            mean_queue_depth=payload.get("mean_queue_depth", 0.0),
+            max_queue_depth=payload.get("max_queue_depth", 0),
         )
 
 
@@ -120,6 +148,8 @@ def run_point(point: GridPoint) -> PointResult:
             warmup=point.warmup,
             work_jitter_cv=point.work_jitter_cv,
             seed=point.seed,
+            arrival=point.arrival,
+            admission=point.admission,
         ),
     )
     return PointResult(

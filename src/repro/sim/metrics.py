@@ -1,4 +1,4 @@
-"""Real-time metrics: total FPS, deadline miss rate, response times.
+"""Real-time metrics: FPS, miss rate, tail latency, goodput, rejections.
 
 The paper evaluates schedulers with two metrics (Section V):
 
@@ -7,26 +7,47 @@ The paper evaluates schedulers with two metrics (Section V):
 * **Deadline Miss Rate (DMR)** — the fraction of job instances that did not
   complete by their absolute deadline.
 
-Both are computed from per-job :class:`JobRecord` entries collected by a
+The open-system arrivals subsystem (:mod:`repro.workloads.arrivals` +
+:mod:`repro.core.admission`) adds the serving-stack view of the same run:
+
+* **Rejection rate** — the fraction of post-warmup releases the admission
+  controller turned away (trace kind ``job_reject``).  Rejected jobs are
+  *excluded* from DMR: the client was refused up front, which is a
+  load-shedding decision, not a missed frame (``job_skip`` drops, by
+  contrast, still count as misses).
+* **Goodput** — completed-*and*-met-deadline frames per second: the
+  throughput a deadline-sensitive consumer actually benefits from.
+* **Tail latency** — nearest-rank response-time percentiles (p99/p999).
+* **Queue depth** — time-weighted mean and max of the number of admitted
+  jobs in flight, fed by the scheduler's admission accounting.
+
+All are computed from per-job :class:`JobRecord` entries collected by a
 :class:`MetricsCollector`.  Stage-level records are kept as well so the
 scheduler's virtual-deadline behaviour can be analysed.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
 class JobRecord:
-    """Lifecycle of one periodic job instance."""
+    """Lifecycle of one released job instance.
+
+    ``rejected`` marks jobs the admission controller refused; they are
+    excluded from deadline accounting and counted by the rejection-rate
+    metric instead.
+    """
 
     task_name: str
     job_index: int
     release_time: float
     absolute_deadline: float
     finish_time: Optional[float] = None
+    rejected: bool = False
 
     @property
     def completed(self) -> bool:
@@ -87,6 +108,9 @@ class MetricsCollector:
         self.jobs: List[JobRecord] = []
         self.stages: List[StageRecord] = []
         self._job_index: Dict[Tuple[str, int], JobRecord] = {}
+        #: Queue-depth step function: ``(time, depth)`` transitions in
+        #: non-decreasing time order (admitted jobs in flight system-wide).
+        self._depth_steps: List[Tuple[float, int]] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -113,7 +137,40 @@ class MetricsCollector:
             raise KeyError(f"completion for unknown job {key}")
         if record.finish_time is not None:
             raise ValueError(f"job {key} completed twice")
+        if record.rejected:
+            raise ValueError(f"job {key} completed after being rejected")
         record.finish_time = finish_time
+
+    def job_rejected(self, task_name: str, job_index: int) -> None:
+        """Mark a previously released job as refused by admission control.
+
+        The job stays in :attr:`jobs` (it *was* released) but flips into
+        the rejection accounting: it no longer counts as a decided job
+        for DMR and instead feeds :meth:`rejection_rate`.
+        """
+        key = (task_name, job_index)
+        record = self._job_index.get(key)
+        if record is None:
+            raise KeyError(f"rejection for unknown job {key}")
+        if record.finish_time is not None:
+            raise ValueError(f"job {key} rejected after completing")
+        record.rejected = True
+
+    def record_queue_depth(self, time: float, depth: int) -> None:
+        """Record a transition of the system-wide admitted-jobs count.
+
+        The scheduler calls this on every admission and departure;
+        successive calls must carry non-decreasing times (simulated time
+        never rewinds).
+        """
+        if depth < 0:
+            raise ValueError(f"queue depth must be >= 0, got {depth}")
+        if self._depth_steps and time < self._depth_steps[-1][0]:
+            raise ValueError(
+                f"queue-depth transition at {time} precedes previous at "
+                f"{self._depth_steps[-1][0]}"
+            )
+        self._depth_steps.append((time, depth))
 
     def stage_released(
         self,
@@ -141,12 +198,16 @@ class MetricsCollector:
         """Jobs that count toward DMR at time ``now``.
 
         A job counts when it was released after warmup and its deadline has
-        passed (so its outcome is decided).
+        passed (so its outcome is decided).  Rejected jobs never count:
+        the admission controller refused them up front, so their outcome
+        is a *rejection* (see :meth:`rejection_rate`), not a miss.
         """
         return [
             job
             for job in self.jobs
-            if job.release_time >= self.warmup and job.absolute_deadline <= now
+            if not job.rejected
+            and job.release_time >= self.warmup
+            and job.absolute_deadline <= now
         ]
 
     def total_fps(self, now: float) -> float:
@@ -213,14 +274,105 @@ class MetricsCollector:
         return sorted(values)
 
     def response_time_percentile(self, fraction: float) -> Optional[float]:
-        """Percentile (0..1) of completed-job response times, or ``None``."""
+        """Nearest-rank percentile (0..1) of response times, or ``None``.
+
+        Uses the explicit ceil-based nearest-rank definition: the value
+        at rank ``ceil(fraction * n)`` (1-based; fraction 0 maps to the
+        minimum).  A previous implementation used ``int(round(...))``,
+        whose round-half-even tie-breaking made half-way fractions flap
+        between adjacent ranks as the sample count changed; the ceil
+        definition is monotone in ``fraction`` and stable.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         values = self.response_times()
         if not values:
             return None
-        index = min(len(values) - 1, int(round(fraction * (len(values) - 1))))
-        return values[index]
+        rank = max(1, math.ceil(fraction * len(values)))
+        return values[rank - 1]
+
+    def rejection_rate(self, now: float) -> float:
+        """Fraction of post-warmup releases refused by admission control.
+
+        Rejections are decided at release time, so every post-warmup
+        release up to ``now`` is in the denominator (unlike DMR, which
+        waits for deadlines to pass).
+        """
+        released = [
+            job
+            for job in self.jobs
+            if self.warmup <= job.release_time <= now
+        ]
+        if not released:
+            return 0.0
+        return sum(1 for job in released if job.rejected) / len(released)
+
+    def rejected_count(self) -> int:
+        """Total jobs rejected by admission control (warmup included)."""
+        return sum(1 for job in self.jobs if job.rejected)
+
+    def goodput(self, now: float) -> float:
+        """Completed-and-met-deadline frames per second after warmup.
+
+        The deadline-sensitive counterpart of :meth:`total_fps`: a frame
+        that finishes late still counts toward FPS (work was done) but
+        not toward goodput (the consumer could no longer use it).
+        """
+        window = now - self.warmup
+        if window <= 0.0:
+            return 0.0
+        good = sum(
+            1
+            for job in self.jobs
+            if job.finish_time is not None
+            and self.warmup <= job.finish_time <= now
+            and job.finish_time <= job.absolute_deadline
+        )
+        return good / window
+
+    def mean_queue_depth(self, now: float) -> float:
+        """Time-weighted mean admitted-jobs-in-flight over ``[warmup, now]``.
+
+        Derived from the step function recorded by
+        :meth:`record_queue_depth`; 0.0 when nothing was ever recorded or
+        the window is empty.
+        """
+        window = now - self.warmup
+        if window <= 0.0 or not self._depth_steps:
+            return 0.0
+        weighted = 0.0
+        # Depth in effect at the window start: the last transition at or
+        # before warmup (0 jobs before the first transition).
+        depth = 0
+        start = self.warmup
+        for time, next_depth in self._depth_steps:
+            if time <= self.warmup:
+                depth = next_depth
+                continue
+            if time >= now:
+                break
+            weighted += depth * (time - start)
+            start = time
+            depth = next_depth
+        weighted += depth * (now - start)
+        return weighted / window
+
+    def max_queue_depth(self, now: float) -> int:
+        """Peak admitted-jobs-in-flight over ``[warmup, now]``.
+
+        Includes the depth carried into the window by the last transition
+        at or before warmup.
+        """
+        peak = 0
+        carried = 0
+        for time, depth in self._depth_steps:
+            if time <= self.warmup:
+                carried = depth
+            elif time <= now:
+                peak = max(peak, depth)
+            else:
+                break
+        return max(peak, carried)
 
     def released_count(self) -> int:
         """Total jobs released (including during warmup)."""

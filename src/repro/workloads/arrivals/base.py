@@ -1,0 +1,139 @@
+"""The :class:`ArrivalProcess` contract and its registry.
+
+An arrival process turns a task into a deterministic stream of absolute
+release times.  The scheduler (:class:`repro.core.scheduler.SchedulerBase`)
+pulls the stream one arrival at a time, so a process never needs to know
+the simulation horizon and infinite streams are the norm.
+
+Contract
+--------
+* :meth:`ArrivalProcess.stream` returns an iterator of non-decreasing
+  absolute times, the first at or after ``task.release_offset``.
+* Streams are **seed-deterministic**: the same ``(task, seed)`` always
+  yields the same times, regardless of how other tasks' streams are
+  interleaved.  Each task gets its own RNG stream derived from the run
+  seed, the process name and the task name (:func:`derive_arrival_seed`),
+  so adding a task never perturbs another task's arrivals.
+* Process objects are **stateless and picklable** — all run state lives
+  in the generator returned by ``stream`` — so one instance can be shared
+  across runs and shipped to ``multiprocessing`` workers (the
+  staged-pipeline / serializable-worker-context idiom the synth
+  generators already follow).
+
+Processes are addressable by spec string, the same ``name:key=val,...``
+syntax admission policies use::
+
+    resolve_arrival("poisson")
+    resolve_arrival("mmpp:burst=6,calm=0.25")
+    resolve_arrival("replay:path=logs/arrivals.jsonl")
+
+which is what makes them a sweepable grid axis
+(``python -m repro sweep --arrival mmpp:burst=6``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple, Union
+
+from repro.core.admission import parse_spec
+from repro.core.task import TaskSpec
+
+
+def derive_arrival_seed(seed: int, process_name: str, task_name: str) -> int:
+    """Deterministic per-task arrival seed.
+
+    The same SHA-256 construction as :func:`repro.exp.grid.derive_seed`
+    (stable across processes and Python versions, unlike ``hash()``),
+    namespaced with ``"arrivals"`` so arrival streams never collide with
+    the scheduler's execution-jitter stream or the synthesis streams.
+    """
+    blob = json.dumps(
+        [seed, "arrivals", str(process_name), str(task_name)]
+    ).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+class ArrivalProcess:
+    """One source of job release times (see module docstring)."""
+
+    #: Registry / display name; concrete processes override it.
+    name = "base"
+
+    def stream(self, task: TaskSpec, seed: int) -> Iterator[float]:
+        """Yield absolute release times for ``task``, non-decreasing.
+
+        ``seed`` is the per-task arrival seed (already derived by the
+        caller via :func:`derive_arrival_seed`); a process that consumes
+        no randomness ignores it.  The stream may be finite (trace
+        replay) or infinite (every stochastic process).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI listings, inspectors)."""
+        return self.name
+
+
+@dataclass(frozen=True)
+class _RegisteredArrival:
+    key: str
+    factory: Callable[..., ArrivalProcess]
+    description: str
+
+
+_ARRIVAL_REGISTRY: Dict[str, _RegisteredArrival] = {}
+
+
+def register_arrival(
+    key: str, factory: Callable[..., ArrivalProcess], description: str = ""
+) -> None:
+    """Register an arrival-process factory under ``key``.
+
+    ``factory`` is called with the spec string's keyword parameters;
+    registering is enough to make the process sweepable::
+
+        register_arrival("my_burst", MyBurstArrivals, "custom burst model")
+        # python -m repro sweep --arrival my_burst:intensity=3
+    """
+    if not key:
+        raise ValueError("arrival process key must be non-empty")
+    _ARRIVAL_REGISTRY[key] = _RegisteredArrival(key, factory, description)
+
+
+def arrival_names() -> Tuple[str, ...]:
+    """Registered process keys in registration order."""
+    return tuple(_ARRIVAL_REGISTRY)
+
+
+def list_arrivals() -> List[Tuple[str, str]]:
+    """``(key, description)`` pairs in registration order."""
+    return [(p.key, p.description) for p in _ARRIVAL_REGISTRY.values()]
+
+
+def resolve_arrival(spec: Union[str, ArrivalProcess]) -> ArrivalProcess:
+    """Build an arrival process from a spec string.
+
+    Process instances pass through unchanged; ``"periodic"`` is the
+    closed-system default everywhere a spec string defaults.
+    """
+    if isinstance(spec, ArrivalProcess):
+        return spec
+    if not spec:
+        raise ValueError("empty arrival spec (use 'periodic' for the default)")
+    name, params = parse_spec(spec)
+    try:
+        registered = _ARRIVAL_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {name!r}; known: "
+            f"{sorted(_ARRIVAL_REGISTRY)}"
+        ) from None
+    try:
+        return registered.factory(**params)
+    except TypeError as error:
+        raise ValueError(
+            f"bad parameters for arrival process {name!r}: {error}"
+        ) from None

@@ -207,6 +207,8 @@ def scenario_grid(
     seeds: Sequence[int] = (0,),
     work_jitter_cv: float = 0.0,
     num_stages: int = DEFAULT_NUM_STAGES,
+    arrivals: Sequence[str] = ("periodic",),
+    admission: str = "",
 ) -> GridSpec:
     """The :class:`GridSpec` behind one scenario sweep."""
     return GridSpec.from_scenario(
@@ -218,6 +220,8 @@ def scenario_grid(
         warmup=warmup,
         work_jitter_cv=work_jitter_cv,
         num_stages=num_stages,
+        arrivals=tuple(arrivals),
+        admission=admission,
     )
 
 

@@ -44,6 +44,8 @@ def synth_grid(
     period_class: str = "",
     zoo_mix: str = "",
     deadline_mode: str = "",
+    arrivals: Sequence[str] = ("periodic",),
+    admission: str = "",
 ) -> GridSpec:
     """The :class:`GridSpec` of one synthesized-workload sweep.
 
@@ -68,6 +70,8 @@ def synth_grid(
         period_class=period_class,
         zoo_mix=zoo_mix,
         deadline_mode=deadline_mode,
+        arrivals=tuple(arrivals),
+        admission=admission,
     )
 
 

@@ -167,3 +167,91 @@ class TestGridSpec:
         )
         assert spec.scenario == "scenario2"
         assert spec.num_contexts == 3
+
+class TestArrivalAxis:
+    """The open-system axis introduced with schema v3."""
+
+    def test_default_spec_is_closed_system(self):
+        spec = small_spec()
+        assert spec.arrivals == ("periodic",)
+        assert spec.admission == ""
+        for point in spec.points():
+            assert point.arrival == "periodic"
+            assert point.admission == ""
+            assert "/periodic" not in point.label
+
+    def test_arrival_axis_multiplies_the_grid(self):
+        spec = small_spec(arrivals=("periodic", "poisson"))
+        points = list(spec.points())
+        assert len(points) == len(spec) == 2 * 2 * 2 * 2
+        arrivals = {p.arrival for p in points}
+        assert arrivals == {"periodic", "poisson"}
+
+    def test_non_periodic_arrival_shows_in_label(self):
+        spec = small_spec(arrivals=("poisson",))
+        point = next(iter(spec.points()))
+        assert point.label.endswith("/poisson")
+
+    def test_admission_flows_to_every_point(self):
+        spec = small_spec(
+            arrivals=("mmpp:burst=6",), admission="queue:depth=2"
+        )
+        for point in spec.points():
+            assert point.arrival == "mmpp:burst=6"
+            assert point.admission == "queue:depth=2"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_spec(arrivals=())
+        with pytest.raises(ValueError):
+            small_spec(arrivals=("bogus_process",))
+        with pytest.raises(ValueError):
+            small_spec(admission="bogus_policy")
+        with pytest.raises(ValueError):
+            GridPoint(
+                scenario="scenario1",
+                num_contexts=2,
+                variant="naive",
+                num_tasks=2,
+                seed=0,
+                arrival="",
+            )
+
+    def test_hash_sensitive_to_arrival_and_admission(self):
+        def point(**overrides):
+            fields = dict(
+                scenario="scenario1",
+                num_contexts=2,
+                variant="naive",
+                num_tasks=2,
+                seed=0,
+            )
+            fields.update(overrides)
+            return GridPoint(**fields)
+
+        base = point().config_hash()
+        assert point(arrival="poisson").config_hash() != base
+        assert point(admission="reject").config_hash() != base
+
+    def test_dict_roundtrip_carries_the_axis(self):
+        point = GridPoint(
+            scenario="scenario1",
+            num_contexts=2,
+            variant="naive",
+            num_tasks=2,
+            seed=0,
+            arrival="mmpp:burst=6",
+            admission="queue:depth=2",
+        )
+        assert GridPoint.from_dict(point.config_dict()) == point
+
+    def test_seed_streams_are_arrival_independent(self):
+        """Adding the arrival axis must not reshuffle historical seeds."""
+        jittered = small_spec(
+            work_jitter_cv=0.1, arrivals=("periodic", "poisson")
+        )
+        by_coords = {}
+        for point in jittered.points():
+            key = (point.variant, point.num_tasks, point.base_seed)
+            by_coords.setdefault(key, set()).add(point.seed)
+        assert all(len(seeds) == 1 for seeds in by_coords.values())

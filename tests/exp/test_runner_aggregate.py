@@ -283,3 +283,60 @@ class TestAcceptance:
         parallel = run_grid(self.GRID, workers=4)
         assert metric_rows(serial) == metric_rows(parallel)
         assert serial.elapsed / parallel.elapsed >= 3.0
+
+class TestResultVersioning:
+    def result(self):
+        point = GridPoint(
+            scenario="scenario1",
+            num_contexts=2,
+            variant="naive",
+            num_tasks=2,
+            seed=0,
+        )
+        return PointResult(
+            point=point,
+            total_fps=10.0,
+            dmr=0.1,
+            utilization=0.5,
+            mean_pressure=0.2,
+            released=20,
+            completed=18,
+            goodput=9.0,
+            rejection_rate=0.05,
+            rejected=1,
+            p99_response=0.4,
+            p999_response=0.6,
+            mean_queue_depth=1.5,
+            max_queue_depth=3,
+        )
+
+    def test_v2_roundtrip_keeps_open_system_fields(self):
+        result = self.result()
+        clone = PointResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_v1_records_load_with_open_system_defaults(self):
+        payload = self.result().to_dict()
+        for key in (
+            "goodput",
+            "rejection_rate",
+            "rejected",
+            "p99_response",
+            "p999_response",
+            "mean_queue_depth",
+            "max_queue_depth",
+        ):
+            del payload[key]
+        payload["version"] = 1
+        loaded = PointResult.from_dict(payload)
+        assert loaded.total_fps == 10.0
+        assert loaded.goodput == 0.0
+        assert loaded.rejected == 0
+        assert loaded.p99_response is None
+        assert loaded.max_queue_depth == 0
+
+    def test_unknown_version_rejected(self):
+        payload = self.result().to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="unsupported result version"):
+            PointResult.from_dict(payload)

@@ -184,3 +184,173 @@ class TestResponseTimes:
     def test_percentile_out_of_range(self):
         with pytest.raises(ValueError):
             self.make_metrics().response_time_percentile(1.5)
+
+
+class TestPercentileNearestRank:
+    """The ceil-based nearest-rank definition, pinned explicitly.
+
+    A previous implementation used round-half-even, so half-way ranks
+    (``fraction * n == k + 0.5``) flapped between adjacent order
+    statistics as the sample count changed parity.  These pins make the
+    ceil definition (and its stability) load-bearing.
+    """
+
+    def make_metrics(self, responses):
+        metrics = MetricsCollector()
+        for index, response in enumerate(responses):
+            metrics.job_released("a", index, 1.0, 2.0)
+            metrics.job_completed("a", index, 1.0 + response)
+        return metrics
+
+    def test_half_way_rank_rounds_up_not_half_even(self):
+        # n=5, p50: rank ceil(2.5) = 3 -> third order statistic.  The old
+        # round-half-even picked rank 2 here (round(2.5) == 2).
+        metrics = self.make_metrics([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert metrics.response_time_percentile(0.5) == pytest.approx(0.3)
+        # n=5, p30: ceil(1.5) = 2; round-half-even also gave 2 -- agreement
+        # on one side of the flap, disagreement on the other, was the bug.
+        assert metrics.response_time_percentile(0.3) == pytest.approx(0.2)
+
+    def test_rank_table_across_sample_parities(self):
+        for n, fraction, expected_rank in [
+            (4, 0.5, 2),
+            (5, 0.5, 3),
+            (6, 0.5, 3),
+            (100, 0.99, 99),
+            (101, 0.99, 100),
+            (10, 0.999, 10),
+        ]:
+            values = [float(i + 1) for i in range(n)]
+            metrics = self.make_metrics(values)
+            assert metrics.response_time_percentile(fraction) == pytest.approx(
+                float(expected_rank)
+            ), (n, fraction)
+
+    def test_fraction_zero_is_minimum(self):
+        metrics = self.make_metrics([0.3, 0.1, 0.2])
+        assert metrics.response_time_percentile(0.0) == pytest.approx(0.1)
+
+    def test_monotone_in_fraction(self):
+        metrics = self.make_metrics([0.5, 0.1, 0.4, 0.2, 0.3, 0.6, 0.7])
+        values = [
+            metrics.response_time_percentile(f / 100.0) for f in range(101)
+        ]
+        assert values == sorted(values)
+
+
+class TestWarmupBoundaries:
+    """Exact boundary semantics: release == warmup and finish == now."""
+
+    def test_release_exactly_at_warmup_counts_for_dmr(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 1.0, 1.5)  # release == warmup
+        assert metrics.deadline_miss_rate(2.0) == 1.0
+        assert metrics.per_task_dmr(2.0) == {"a": 1.0}
+
+    def test_release_just_before_warmup_excluded_from_dmr(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 1.0 - 1e-12, 1.5)
+        assert metrics.deadline_miss_rate(2.0) == 0.0
+        assert metrics.per_task_dmr(2.0) == {}
+
+    def test_finish_exactly_at_warmup_counts_for_fps(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 0.5, 3.0)
+        metrics.job_completed("a", 0, 1.0)  # finish == warmup
+        assert metrics.total_fps(2.0) == pytest.approx(1.0)
+        assert metrics.per_task_fps(2.0) == {"a": pytest.approx(1.0)}
+
+    def test_finish_exactly_at_now_counts_for_fps(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 1.5, 3.0)
+        metrics.job_completed("a", 0, 2.0)  # finish == now
+        assert metrics.total_fps(2.0) == pytest.approx(1.0)
+        assert metrics.per_task_fps(2.0) == {"a": pytest.approx(1.0)}
+
+    def test_finish_just_after_now_excluded_from_fps(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 1.5, 3.0)
+        metrics.job_completed("a", 0, 2.0 + 1e-12)
+        assert metrics.total_fps(2.0) == 0.0
+        assert metrics.per_task_fps(2.0) == {}
+
+    def test_goodput_boundaries_match_fps_and_deadline(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 1.0, 2.0)
+        metrics.job_completed("a", 0, 2.0)  # finish == deadline == now
+        assert metrics.goodput(2.0) == pytest.approx(1.0)
+        metrics.job_released("a", 1, 1.0, 1.2)
+        metrics.job_completed("a", 1, 1.5)  # late: fps yes, goodput no
+        assert metrics.total_fps(2.0) == pytest.approx(2.0)
+        assert metrics.goodput(2.0) == pytest.approx(1.0)
+
+
+class TestRejectionAccounting:
+    def test_rejected_jobs_leave_dmr_and_feed_rate(self):
+        metrics = MetricsCollector(warmup=0.0)
+        metrics.job_released("a", 0, 0.1, 0.2)
+        metrics.job_rejected("a", 0)
+        metrics.job_released("a", 1, 0.3, 0.4)
+        assert metrics.deadline_miss_rate(1.0) == 1.0  # only job 1 counts
+        assert metrics.rejection_rate(1.0) == 0.5
+        assert metrics.rejected_count() == 1
+
+    def test_rejection_rate_window_is_release_based(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 0.5, 0.6)  # pre-warmup
+        metrics.job_rejected("a", 0)
+        metrics.job_released("a", 1, 1.0, 1.1)  # release == warmup
+        metrics.job_rejected("a", 1)
+        assert metrics.rejection_rate(2.0) == 1.0
+        assert metrics.rejected_count() == 2  # warmup included in the raw count
+        assert metrics.rejection_rate(0.9) == 0.0  # empty window
+
+    def test_reject_unknown_job_raises(self):
+        with pytest.raises(KeyError):
+            MetricsCollector().job_rejected("ghost", 0)
+
+    def test_reject_after_completion_raises(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 1.0)
+        metrics.job_completed("a", 0, 0.5)
+        with pytest.raises(ValueError):
+            metrics.job_rejected("a", 0)
+
+    def test_completion_after_rejection_raises(self):
+        metrics = MetricsCollector()
+        metrics.job_released("a", 0, 0.0, 1.0)
+        metrics.job_rejected("a", 0)
+        with pytest.raises(ValueError):
+            metrics.job_completed("a", 0, 0.5)
+
+
+class TestQueueDepth:
+    def test_validates_inputs(self):
+        metrics = MetricsCollector()
+        with pytest.raises(ValueError):
+            metrics.record_queue_depth(0.0, -1)
+        metrics.record_queue_depth(1.0, 2)
+        with pytest.raises(ValueError):
+            metrics.record_queue_depth(0.5, 1)  # time rewound
+
+    def test_time_weighted_mean(self):
+        metrics = MetricsCollector(warmup=0.0)
+        metrics.record_queue_depth(0.0, 1)
+        metrics.record_queue_depth(1.0, 3)
+        metrics.record_queue_depth(3.0, 0)
+        # 1 for 1s, 3 for 2s, 0 for 1s over [0, 4] -> 7/4.
+        assert metrics.mean_queue_depth(4.0) == pytest.approx(1.75)
+        assert metrics.max_queue_depth(4.0) == 3
+
+    def test_carries_depth_into_the_warmup_window(self):
+        metrics = MetricsCollector(warmup=2.0)
+        metrics.record_queue_depth(0.0, 5)  # in effect when warmup starts
+        metrics.record_queue_depth(3.0, 1)
+        # 5 for [2, 3], 1 for [3, 4] -> 6/2.
+        assert metrics.mean_queue_depth(4.0) == pytest.approx(3.0)
+        assert metrics.max_queue_depth(4.0) == 5  # the carried-in peak
+
+    def test_empty_is_zero(self):
+        metrics = MetricsCollector()
+        assert metrics.mean_queue_depth(1.0) == 0.0
+        assert metrics.max_queue_depth(1.0) == 0
