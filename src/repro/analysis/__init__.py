@@ -2,6 +2,7 @@
 
 from repro.analysis.persistence import (
     load_grid,
+    load_run_traces,
     load_sweep,
     save_grid,
     save_sweep,
@@ -13,6 +14,8 @@ from repro.analysis.planner import (
     sgprs_capacity_plan,
 )
 from repro.analysis.report import (
+    AGGREGATE_METRICS,
+    aggregate_to_csv,
     ascii_chart,
     render_aggregate_table,
     render_fig1_table,
@@ -27,6 +30,7 @@ from repro.analysis.timeline import (
     KernelSpan,
     context_occupancy,
     extract_spans,
+    first_divergence,
     render_gantt,
     stage_latency_breakdown,
 )
@@ -38,6 +42,8 @@ __all__ = [
     "render_sweep_table",
     "render_fig1_table",
     "sweep_to_csv",
+    "AGGREGATE_METRICS",
+    "aggregate_to_csv",
     "utilization_bound_tasks",
     "naive_capacity_estimate",
     "CapacityPlan",
@@ -48,9 +54,11 @@ __all__ = [
     "context_occupancy",
     "stage_latency_breakdown",
     "render_gantt",
+    "first_divergence",
     "render_aggregate_table",
     "save_sweep",
     "load_sweep",
     "save_grid",
     "load_grid",
+    "load_run_traces",
 ]

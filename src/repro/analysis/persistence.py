@@ -263,3 +263,24 @@ def load_grid(path: Union[str, Path]) -> GridResult:
     """Read a grid run from a JSON file."""
     with open(path) as handle:
         return grid_from_dict(json.load(handle))
+
+
+def load_run_traces(run) -> Dict[str, "object"]:
+    """Per-point execution traces stored in a run directory.
+
+    Returns ``{point label: ColumnarTrace}`` for every grid point whose
+    trace is present under the store's ``traces/`` prefix (runs executed
+    without ``record_traces`` simply yield an empty dict).  Combined
+    with :func:`repro.analysis.timeline.first_divergence` this is the
+    cross-run comparison path: load the same point's trace from two run
+    directories and diff them event by event without re-simulating.
+    """
+    from repro.exp.dist import load_manifest, load_point_trace
+
+    manifest = load_manifest(run)
+    out: Dict[str, object] = {}
+    for point in manifest.spec.points():
+        trace = load_point_trace(run, point)
+        if trace is not None:
+            out[point.label] = trace
+    return out

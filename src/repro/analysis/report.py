@@ -70,6 +70,49 @@ def render_sweep_table(
     return f"{title}\n{table}" if title else table
 
 
+#: Metrics :func:`render_aggregate_table` can render.  The first two are
+#: the paper's headline pair; the rest are the open-system additions
+#: (goodput/rejections from PR 5's admission control, tail latency and
+#: queue depth from the arrivals subsystem).
+AGGREGATE_METRICS = (
+    "total_fps",
+    "dmr",
+    "goodput",
+    "rejection_rate",
+    "p99_response",
+    "p999_response",
+    "mean_queue_depth",
+    "max_queue_depth",
+)
+
+
+def _aggregate_cell(agg: AggregatePoint, metric: str) -> str:
+    """One ``mean±ci95`` table cell for a metric of one cell."""
+    if metric == "total_fps":
+        return f"{agg.mean_fps:.1f}±{agg.ci_fps:.1f}"
+    if metric == "dmr":
+        return f"{agg.mean_dmr * 100:.1f}±{agg.ci_dmr * 100:.1f}%"
+    if metric == "goodput":
+        return f"{agg.mean_goodput:.1f}±{agg.ci_goodput:.1f}"
+    if metric == "rejection_rate":
+        return (
+            f"{agg.mean_rejection_rate * 100:.1f}"
+            f"±{agg.ci_rejection_rate * 100:.1f}%"
+        )
+    if metric == "p99_response":
+        if agg.mean_p99 is None:
+            return "-"
+        return f"{agg.mean_p99 * 1e3:.1f}±{agg.ci_p99 * 1e3:.1f}ms"
+    if metric == "p999_response":
+        if agg.mean_p999 is None:
+            return "-"
+        return f"{agg.mean_p999 * 1e3:.1f}±{agg.ci_p999 * 1e3:.1f}ms"
+    if metric == "mean_queue_depth":
+        return f"{agg.mean_queue_depth:.2f}±{agg.ci_queue_depth:.2f}"
+    # max_queue_depth: a max over seeds, so no confidence interval
+    return str(agg.max_queue_depth)
+
+
 def render_aggregate_table(
     aggregates: Dict[str, List[AggregatePoint]],
     metric: str = "total_fps",
@@ -77,12 +120,16 @@ def render_aggregate_table(
 ) -> str:
     """Seed-replicated sweep as text: ``mean +/- ci95`` cells.
 
-    ``metric`` selects FPS or DMR, as in :func:`render_sweep_table`; the
-    half-width comes from :func:`repro.exp.aggregate.mean_ci` over the
-    grid's replication seeds.
+    ``metric`` selects any of :data:`AGGREGATE_METRICS`; the half-width
+    comes from :func:`repro.exp.aggregate.mean_ci` over the grid's
+    replication seeds (``max_queue_depth`` is a max over seeds and
+    renders without one; the percentile metrics render ``-`` where no
+    seed completed a post-warmup job).
     """
-    if metric not in ("total_fps", "dmr"):
-        raise ValueError(f"metric must be 'total_fps' or 'dmr', got {metric!r}")
+    if metric not in AGGREGATE_METRICS:
+        raise ValueError(
+            f"metric must be one of {AGGREGATE_METRICS}, got {metric!r}"
+        )
     variants = list(aggregates)
     counts = sorted(
         {a.num_tasks for points in aggregates.values() for a in points}
@@ -99,13 +146,50 @@ def render_aggregate_table(
             agg = lookup[variant].get(count)
             if agg is None:
                 row.append("-")
-            elif metric == "total_fps":
-                row.append(f"{agg.mean_fps:.1f}±{agg.ci_fps:.1f}")
             else:
-                row.append(f"{agg.mean_dmr * 100:.1f}±{agg.ci_dmr * 100:.1f}%")
+                row.append(_aggregate_cell(agg, metric))
         rows.append(row)
     table = _format_table(header, rows)
     return f"{title}\n{table}" if title else table
+
+
+def aggregate_to_csv(aggregates: Dict[str, List[AggregatePoint]]) -> str:
+    """CSV export of seed-aggregated cells, every metric in one row.
+
+    One row per aggregation cell with its coordinates (variant, task
+    count, target utilization, arrival, admission), the replication
+    count ``n`` and each metric's mean and ci95 — including the
+    open-system tail metrics the sweep CSV cannot carry.  ``mean_p99`` /
+    ``mean_p999`` cells are empty when no seed completed a post-warmup
+    job.
+    """
+    out = io.StringIO()
+    out.write(
+        "variant,num_tasks,target_utilization,arrival,admission,n,"
+        "mean_fps,ci_fps,mean_dmr,ci_dmr,mean_utilization,ci_utilization,"
+        "mean_goodput,ci_goodput,mean_rejection_rate,ci_rejection_rate,"
+        "mean_p99,ci_p99,mean_p999,ci_p999,"
+        "mean_queue_depth,ci_queue_depth,max_queue_depth\n"
+    )
+    for variant, points in aggregates.items():
+        for a in sorted(
+            points, key=lambda q: (q.num_tasks, q.total_utilization)
+        ):
+            p99 = "" if a.mean_p99 is None else f"{a.mean_p99:.6f}"
+            p999 = "" if a.mean_p999 is None else f"{a.mean_p999:.6f}"
+            out.write(
+                f"{variant},{a.num_tasks},{a.total_utilization:g},"
+                f"{a.arrival},{a.admission},{a.n},"
+                f"{a.mean_fps:.3f},{a.ci_fps:.3f},"
+                f"{a.mean_dmr:.5f},{a.ci_dmr:.5f},"
+                f"{a.mean_utilization:.4f},{a.ci_utilization:.4f},"
+                f"{a.mean_goodput:.3f},{a.ci_goodput:.3f},"
+                f"{a.mean_rejection_rate:.5f},{a.ci_rejection_rate:.5f},"
+                f"{p99},{a.ci_p99:.6f},{p999},{a.ci_p999:.6f},"
+                f"{a.mean_queue_depth:.4f},{a.ci_queue_depth:.4f},"
+                f"{a.max_queue_depth}\n"
+            )
+    return out.getvalue()
 
 
 def render_utilization_table(

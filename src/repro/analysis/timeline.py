@@ -1,17 +1,22 @@
 """Execution-timeline analysis from traces.
 
-Turns a :class:`~repro.sim.trace.TraceRecorder` produced by a run with
-``record_trace=True`` into per-context occupancy statistics, per-stage
-latency breakdowns, and a text Gantt chart — the tools one actually uses
-to debug why a task set misses deadlines.
+Turns a trace produced by a run with ``record_trace=True`` — either the
+list-backed :class:`~repro.sim.trace.TraceRecorder` or the columnar
+:class:`~repro.sim.trace_columnar.ColumnarTrace`; everything here only
+needs the shared iteration/query API — into per-context occupancy
+statistics, per-stage latency breakdowns, and a text Gantt chart — the
+tools one actually uses to debug why a task set misses deadlines.
+:func:`first_divergence` compares two traces event by event, which
+combined with :mod:`repro.sim.trace_io` shipping makes cross-run
+regression hunts ("where do these two runs first differ?") a one-liner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.sim.trace import TraceRecorder
+from repro.sim.clock import TIME_EPS
 
 
 @dataclass(frozen=True)
@@ -30,7 +35,7 @@ class KernelSpan:
         return self.end - self.start
 
 
-def extract_spans(trace: TraceRecorder) -> List[KernelSpan]:
+def extract_spans(trace: Iterable) -> List[KernelSpan]:
     """Pair ``kernel_start``/``kernel_done`` records into spans.
 
     Kernels still resident when the trace ends (no ``kernel_done``) are
@@ -76,13 +81,18 @@ def context_occupancy(
         raise ValueError(f"horizon must be positive, got {horizon}")
     busy: Dict[int, float] = {}
     for span in spans:
-        overlap = min(span.end, horizon) - min(span.start, horizon)
+        if span.end == span.start:
+            # A zero-work stage still occupied a stream for an instant;
+            # give it one epsilon so it registers instead of vanishing.
+            overlap = TIME_EPS if span.start <= horizon else 0.0
+        else:
+            overlap = min(span.end, horizon) - min(span.start, horizon)
         busy[span.context_id] = busy.get(span.context_id, 0.0) + max(overlap, 0.0)
     return {context: total / horizon for context, total in busy.items()}
 
 
 def stage_latency_breakdown(
-    trace: TraceRecorder,
+    trace: Iterable,
 ) -> Dict[int, Tuple[float, float]]:
     """Per stage index: (mean queueing delay, mean execution time).
 
@@ -124,13 +134,24 @@ def render_gantt(
     Cell characters count the spans *touching* each bucket: space for 0,
     digits 1-9, ``+`` above nine.  With buckets wider than a stage's
     runtime the count includes sequential stages, so it is an activity
-    density, not an instantaneous concurrency level.
+    density, not an instantaneous concurrency level.  A zero-duration
+    span (a zero-work stage) counts in the bucket its instant lands in
+    (the last bucket when it sits exactly on ``end``) — the previous
+    strict-overlap test made point spans on bucket boundaries invisible.
     """
     if end <= start:
         raise ValueError("end must exceed start")
     contexts = sorted({span.context_id for span in spans})
     bucket = (end - start) / width
     lines = [f"gantt [{start:.3f}s .. {end:.3f}s], {bucket * 1e3:.2f} ms/col"]
+
+    def touches(span: KernelSpan, t0: float, t1: float, last: bool) -> bool:
+        if span.end == span.start:
+            if last and span.start == t1:
+                return True
+            return t0 <= span.start < t1
+        return span.start < t1 and span.end > t0
+
     for context_id in contexts:
         row = []
         for column in range(width):
@@ -140,8 +161,7 @@ def render_gantt(
                 1
                 for span in spans
                 if span.context_id == context_id
-                and span.start < t1
-                and span.end > t0
+                and touches(span, t0, t1, column == width - 1)
             )
             if count == 0:
                 row.append(" ")
@@ -151,3 +171,32 @@ def render_gantt(
                 row.append("+")
         lines.append(f"ctx{context_id} |{''.join(row)}|")
     return "\n".join(lines)
+
+
+def first_divergence(
+    trace_a: Iterable, trace_b: Iterable
+) -> Optional[Tuple[int, Optional[object], Optional[object]]]:
+    """First event where two traces differ, or ``None`` when identical.
+
+    Compares record by record (time, kind and fields must all match) and
+    returns ``(index, record_a, record_b)`` for the first mismatch; a
+    record is ``None`` when that trace ended early.  Works across
+    recorder backends and on traces loaded via
+    :func:`repro.sim.trace_io.read_trace`, so two stored runs can be
+    diffed without re-simulating either.
+    """
+    iter_a, iter_b = iter(trace_a), iter(trace_b)
+    sentinel = object()
+    index = 0
+    while True:
+        record_a = next(iter_a, sentinel)
+        record_b = next(iter_b, sentinel)
+        if record_a is sentinel and record_b is sentinel:
+            return None
+        if record_a is sentinel or record_b is sentinel or record_a != record_b:
+            return (
+                index,
+                None if record_a is sentinel else record_a,
+                None if record_b is sentinel else record_b,
+            )
+        index += 1

@@ -27,6 +27,7 @@ Usage::
     # distributed execution (repro.exp.dist): shard / claim / merge
     python -m repro sweep --scenario 1 --shard 2/8 --out shard2.json
     python -m repro sweep --scenario 1 --claim --heartbeat 30
+    python -m repro sweep --scenario 1 --claim --record-traces
     python -m repro sweep --resume RUN_ID
     python -m repro merge .repro-runs/RUN_ID --out grid.json
 
@@ -56,7 +57,13 @@ of concurrent workers (``--run-dir``, defaulting to
 before being computed, a crashed worker's claims go stale after
 ``--heartbeat`` seconds and are re-claimed, and every completed point is
 checkpointed so ``--resume RUN`` (a run id or directory) recomputes only
-what is missing.  ``merge`` assembles run directories and/or grid JSONs
+what is missing.  ``--record-traces`` additionally ships every computed
+point's columnar execution trace into the run directory's ``traces/``
+subdirectory (:mod:`repro.sim.trace_io` format; load them back with
+:func:`repro.analysis.persistence.load_run_traces`), and
+``--aggregate-csv`` exports the seed-aggregated cells — tail latency and
+queue depth included — as CSV.  ``merge`` assembles run directories
+and/or grid JSONs
 into one canonical grid, refusing mixed schema versions, mixed
 calibration fingerprints and conflicting duplicates.
 
@@ -89,6 +96,7 @@ from repro.core.context_pool import ContextPoolConfig
 from repro.dnn.resnet import build_resnet18
 from repro.exp.grid import registered_variants
 from repro.exp.runner import run_grid
+from repro.exp.worker import run_point
 from repro.gpu.spec import RTX_2080_TI
 from repro.speedup.measure import measure_network_speedup, measure_op_speedups
 from repro.workloads.scenarios import (
@@ -260,12 +268,23 @@ def _run_spec(grid, args: argparse.Namespace, run_dir: Optional[str] = None):
                 ttl=args.heartbeat,
                 skew=args.skew,
             )
+    point_fn = run_point
+    if getattr(args, "record_traces", False):
+        if run_dir is None:
+            raise SystemExit(
+                "--record-traces needs a run directory to ship traces "
+                "into; combine it with --run-dir, --claim or --resume"
+            )
+        import functools
+
+        point_fn = functools.partial(run_point, trace_store=run_dir)
     result = run_grid(
         grid,
         workers=args.workers,
         cache_dir=cache_dir,
         shard=args.shard,
         claim=claim_config,
+        point_fn=point_fn,
     )
     if manifest is not None:
         print(
@@ -492,6 +511,25 @@ def _print_count_tables(result, seeds: int) -> None:
                     title=f"deadline miss rate, mean±ci95 over {seeds} seeds",
                 )
             )
+            if arrival != "periodic":
+                # open-system slices also get the tail/queue aggregates
+                # (closed-system output stays byte-stable)
+                print()
+                print(
+                    render_aggregate_table(
+                        aggregates,
+                        "p99_response",
+                        title="p99 response, mean±ci95 over seeds",
+                    )
+                )
+                print()
+                print(
+                    render_aggregate_table(
+                        aggregates,
+                        "mean_queue_depth",
+                        title="mean queue depth, mean±ci95 over seeds",
+                    )
+                )
         else:
             sweep = to_sweep(subset)
             print(render_sweep_table(sweep, "total_fps", title="total FPS"))
@@ -536,6 +574,13 @@ def _print_open_system_summary(results) -> None:
 
 
 def _export(result, args: argparse.Namespace) -> None:
+    if getattr(args, "aggregate_csv", None):
+        from repro.analysis.report import aggregate_to_csv
+        from repro.exp.aggregate import aggregate_results
+
+        with open(args.aggregate_csv, "w") as handle:
+            handle.write(aggregate_to_csv(aggregate_results(result.results)))
+        print(f"aggregate CSV written to {args.aggregate_csv}")
     if args.csv:
         try:
             csv_text = sweep_to_csv(result.sweep())
@@ -842,6 +887,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full per-seed grid result to this JSON file",
     )
     sweep.add_argument(
+        "--aggregate-csv",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the seed-aggregated cells (mean±ci95 of every metric, "
+            "tail latency and queue depth included) to this CSV file"
+        ),
+    )
+    sweep.add_argument(
         "--duration",
         type=_positive_float,
         default=None,
@@ -936,6 +990,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs-root",
         default=".repro-runs",
         help="where implicit run directories live (default: .repro-runs)",
+    )
+    dist.add_argument(
+        "--record-traces",
+        action="store_true",
+        help=(
+            "ship each computed point's columnar execution trace into "
+            "the run directory's traces/ subdirectory (repro.sim.trace_io "
+            "format; requires --run-dir, --claim or --resume)"
+        ),
     )
     worker = commands.add_parser(
         "worker",

@@ -23,7 +23,7 @@ from repro.gpu.device import REARM_MODES, GpuDevice
 from repro.gpu.spec import RTX_2080_TI, GpuDeviceSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsCollector
-from repro.sim.trace import TraceRecorder
+from repro.sim.trace import TRACE_BACKENDS, TraceRecorder, make_trace_recorder
 
 
 @dataclass
@@ -46,6 +46,13 @@ class RunConfig:
         Allocation model constants.
     record_trace:
         Whether to keep a full execution trace (large runs disable it).
+    trace_backend:
+        Recorder implementation when tracing
+        (:data:`repro.sim.trace.TRACE_BACKENDS`): ``"list"`` (default)
+        keeps one dataclass per event, ``"columnar"`` the array-backed
+        :class:`~repro.sim.trace_columnar.ColumnarTrace` — same query
+        results, a fraction of the memory, serialisable via
+        :mod:`repro.sim.trace_io`.
     work_jitter_cv / seed:
         Per-stage execution-time jitter (see
         :class:`repro.core.scheduler.SchedulerBase`) and its seed.
@@ -78,6 +85,7 @@ class RunConfig:
     spec: GpuDeviceSpec = RTX_2080_TI
     allocation: AllocationParams = field(default_factory=AllocationParams)
     record_trace: bool = False
+    trace_backend: str = "list"
     work_jitter_cv: float = 0.0
     seed: int = 0
     rearm_mode: str = "incremental"
@@ -95,6 +103,11 @@ class RunConfig:
             raise ValueError(
                 f"rearm_mode must be one of {REARM_MODES}, got "
                 f"{self.rearm_mode!r}"
+            )
+        if self.trace_backend not in TRACE_BACKENDS:
+            raise ValueError(
+                f"trace_backend must be one of {TRACE_BACKENDS}, got "
+                f"{self.trace_backend!r}"
             )
 
 
@@ -115,6 +128,7 @@ class RunResult:
     utilization: float
     mean_pressure: float
     metrics: MetricsCollector
+    #: Either recorder backend (same query API); see RunConfig.trace_backend.
     trace: Optional[TraceRecorder]
     goodput: float = 0.0
     rejection_rate: float = 0.0
@@ -159,7 +173,9 @@ def run_simulation(task_set: TaskSet, config: RunConfig) -> RunResult:
     """Execute one run and return its steady-state metrics."""
     task_set.validate()
     engine = SimulationEngine()
-    trace = TraceRecorder(enabled=config.record_trace)
+    trace = make_trace_recorder(
+        config.trace_backend, enabled=config.record_trace
+    )
     if issubclass(config.scheduler, NaiveScheduler):
         contexts = build_naive_contexts(config.pool, config.spec)
     elif issubclass(config.scheduler, SequentialScheduler):

@@ -272,7 +272,15 @@ class SchedulerBase:
         job = JobInstance(task, index, now)
         self.metrics.job_released(task.name, index, now, job.absolute_deadline)
         if self.trace is not None:
-            self.trace.record(now, "job_release", task=task.name, job=index)
+            # deadline rides along so streaming consumers
+            # (TraceMetricsAccumulator) can score DMR without the workload
+            self.trace.record(
+                now,
+                "job_release",
+                task=task.name,
+                job=index,
+                deadline=job.absolute_deadline,
+            )
         previous = self._latest_job.get(task.name)
         decision = self._decide(job, previous)
         if decision is AdmissionDecision.ADMIT:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exp.worker import PointResult
 
@@ -96,6 +96,18 @@ class AggregatePoint:
     ci_goodput: float = 0.0
     mean_rejection_rate: float = 0.0
     ci_rejection_rate: float = 0.0
+    #: Tail latency / queue depth over the replications (PR-7 metrics;
+    #: a previous aggregator silently dropped them).  The percentile
+    #: means skip seeds where no post-warmup job completed
+    #: (``p99_response is None``) and are ``None`` when every seed was;
+    #: ``max_queue_depth`` is the max over seeds — a peak, not a mean.
+    mean_p99: Optional[float] = None
+    ci_p99: float = 0.0
+    mean_p999: Optional[float] = None
+    ci_p999: float = 0.0
+    mean_queue_depth: float = 0.0
+    ci_queue_depth: float = 0.0
+    max_queue_depth: int = 0
 
 
 def aggregate_results(
@@ -125,6 +137,15 @@ def aggregate_results(
         util_mean, util_ci = mean_ci([r.utilization for r in sample])
         goodput_mean, goodput_ci = mean_ci([r.goodput for r in sample])
         reject_mean, reject_ci = mean_ci([r.rejection_rate for r in sample])
+        p99_values = [r.p99_response for r in sample if r.p99_response is not None]
+        p999_values = [
+            r.p999_response for r in sample if r.p999_response is not None
+        ]
+        p99_mean, p99_ci = mean_ci(p99_values) if p99_values else (None, 0.0)
+        p999_mean, p999_ci = (
+            mean_ci(p999_values) if p999_values else (None, 0.0)
+        )
+        depth_mean, depth_ci = mean_ci([r.mean_queue_depth for r in sample])
         out.setdefault(point.variant, []).append(
             AggregatePoint(
                 variant=point.variant,
@@ -147,6 +168,13 @@ def aggregate_results(
                 ci_goodput=goodput_ci,
                 mean_rejection_rate=reject_mean,
                 ci_rejection_rate=reject_ci,
+                mean_p99=p99_mean,
+                ci_p99=p99_ci,
+                mean_p999=p999_mean,
+                ci_p999=p999_ci,
+                mean_queue_depth=depth_mean,
+                ci_queue_depth=depth_ci,
+                max_queue_depth=max(r.max_queue_depth for r in sample),
             )
         )
     return out

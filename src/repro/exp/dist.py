@@ -16,6 +16,9 @@ Run-store layout
       manifest.json   grid spec + schema/format versions + calibration
       cache/          one JSON per completed point (repro.exp.cache)
       claims/         <config-hash>.claim ownership markers
+      traces/         <config-hash>.trace per-point execution traces
+                      (optional; repro.sim.trace_io format, written when
+                      workers run with record_traces)
 
 Protocol
 --------
@@ -99,6 +102,7 @@ MANIFEST_FORMAT = 1
 
 CACHE_SUBDIR = "cache"
 CLAIMS_SUBDIR = "claims"
+TRACES_SUBDIR = "traces"
 
 #: Anything an init/claim/merge call accepts as "the run store".
 RunStore = Union[str, Path, StorageBackend]
@@ -191,6 +195,33 @@ class RunManifest:
 def run_cache(run: RunStore) -> ResultCache:
     """The shared checkpoint cache of a run store (``cache/`` keys)."""
     return ResultCache(as_backend(run), prefix=CACHE_SUBDIR)
+
+
+def trace_key(point: GridPoint) -> str:
+    """Run-store key of a point's execution trace."""
+    return f"{TRACES_SUBDIR}/{point.config_hash()}.trace"
+
+
+def save_point_trace(run: RunStore, point: GridPoint, trace) -> None:
+    """Ship one point's trace (either recorder backend) into the store.
+
+    Atomic like the cache checkpoints: readers see a complete trace or
+    none.  Points are pure functions of their coordinates and the trace
+    serialisation is deterministic, so a double-computed point rewrites
+    identical bytes.
+    """
+    from repro.sim.trace_io import put_trace
+
+    put_trace(as_backend(run), trace_key(point), trace)
+
+
+def load_point_trace(run: RunStore, point: GridPoint):
+    """One point's stored trace as a
+    :class:`~repro.sim.trace_columnar.ColumnarTrace`, or ``None`` when
+    the run was not traced (or this point has not completed yet)."""
+    from repro.sim.trace_io import get_trace
+
+    return get_trace(as_backend(run), trace_key(point))
 
 
 def load_manifest(run: RunStore) -> RunManifest:
@@ -465,6 +496,7 @@ def run_dist_worker(
     skew: float = DEFAULT_SKEW,
     board: Optional[ClaimBoard] = None,
     stop: Optional[Callable[[], bool]] = None,
+    record_traces: bool = False,
 ):
     """One claim-mode worker pass over an initialised run store.
 
@@ -475,9 +507,22 @@ def run_dist_worker(
     in ``skipped``.  Run it from as many processes/hosts as you like;
     :func:`merge_run` assembles the canonical whole once the claim set
     drains.
+
+    With ``record_traces`` every computed point additionally ships its
+    columnar execution trace into the store's ``traces/`` prefix (see
+    :func:`save_point_trace`); cached points are not re-traced.
     """
+    import functools
+
     from repro.exp.runner import run_grid
 
+    if record_traces:
+        if point_fn is not run_point:
+            raise ValueError(
+                "record_traces only applies to the default point_fn; "
+                "a custom point_fn must ship its own traces"
+            )
+        point_fn = functools.partial(run_point, trace_store=run)
     manifest = load_manifest(run)
     return run_grid(
         manifest.spec,

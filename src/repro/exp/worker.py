@@ -6,6 +6,12 @@ wrappers in :mod:`repro.workloads.scenarios` all call it.  It returns a
 :class:`PointResult` — a slim, picklable record of the steady-state
 metrics, deliberately *not* carrying the :class:`MetricsCollector` or
 trace (those can be megabytes per run and would dominate IPC cost).
+
+Traces can still leave the worker — sideways, not through IPC: pass
+``trace_store`` and the point runs with columnar tracing on and ships
+the serialised trace (:mod:`repro.sim.trace_io`) straight into the run
+store's ``traces/`` prefix before returning the slim result.  That is
+what ``run_dist_worker(record_traces=True)`` wires up.
 """
 
 from __future__ import annotations
@@ -107,8 +113,20 @@ class PointResult:
         )
 
 
-def run_point(point: GridPoint) -> PointResult:
-    """Evaluate one grid point (process-safe, top-level, deterministic)."""
+def run_point(
+    point: GridPoint,
+    trace_store=None,
+    trace_backend: str = "columnar",
+) -> PointResult:
+    """Evaluate one grid point (process-safe, top-level, deterministic).
+
+    With ``trace_store`` (anything :data:`repro.exp.dist.RunStore`
+    accepts) the run records a trace on the ``trace_backend`` recorder
+    and ships it to the store under the point's config hash (see
+    :func:`repro.exp.dist.save_point_trace`) before returning; the
+    returned :class:`PointResult` stays slim either way.  Worker-pool
+    friendly: ``functools.partial(run_point, trace_store=...)`` pickles.
+    """
     started = time.perf_counter()
     scheduler, oversubscription, task_stages = resolve_variant(
         point.variant, point.num_stages
@@ -150,8 +168,14 @@ def run_point(point: GridPoint) -> PointResult:
             seed=point.seed,
             arrival=point.arrival,
             admission=point.admission,
+            record_trace=trace_store is not None,
+            trace_backend=trace_backend,
         ),
     )
+    if trace_store is not None:
+        from repro.exp.dist import save_point_trace
+
+        save_point_trace(trace_store, point, result.trace)
     return PointResult(
         point=point,
         elapsed=time.perf_counter() - started,

@@ -9,16 +9,41 @@ SimulationEngine
     Binary-heap discrete event engine with stable FIFO tie-breaking.
 Event
     Handle returned by :meth:`SimulationEngine.schedule`; can be cancelled.
-TraceRecorder
-    Append-only structured execution trace.
+TraceRecorder / ColumnarTrace
+    Structured execution trace: the list-backed recorder and its
+    array-backed columnar drop-in (``make_trace_recorder`` selects one).
+write_trace / read_trace
+    Compact on-disk trace format (:mod:`repro.sim.trace_io`).
 MetricsCollector / JobRecord
     Real-time metrics: total FPS, deadline miss rate, response times.
+TraceMetricsAccumulator
+    Streaming FPS/DMR/tail/queue-depth accumulation from a trace stream.
 """
 
 from repro.sim.clock import TIME_EPS, times_close
 from repro.sim.engine import Event, SimulationEngine, SimulationError
-from repro.sim.metrics import JobRecord, MetricsCollector, StageRecord
-from repro.sim.trace import TraceRecord, TraceRecorder
+from repro.sim.metrics import (
+    JobRecord,
+    MetricsCollector,
+    StageRecord,
+    TraceMetricsAccumulator,
+)
+from repro.sim.trace import (
+    TRACE_BACKENDS,
+    TraceRecord,
+    TraceRecorder,
+    make_trace_recorder,
+)
+from repro.sim.trace_columnar import ColumnarTrace
+from repro.sim.trace_io import (
+    TRACE_FORMAT_VERSION,
+    get_trace,
+    put_trace,
+    read_trace,
+    trace_from_bytes,
+    trace_to_bytes,
+    write_trace,
+)
 
 __all__ = [
     "TIME_EPS",
@@ -29,6 +54,17 @@ __all__ = [
     "JobRecord",
     "StageRecord",
     "MetricsCollector",
+    "TraceMetricsAccumulator",
     "TraceRecord",
     "TraceRecorder",
+    "ColumnarTrace",
+    "TRACE_BACKENDS",
+    "make_trace_recorder",
+    "TRACE_FORMAT_VERSION",
+    "trace_to_bytes",
+    "trace_from_bytes",
+    "write_trace",
+    "read_trace",
+    "put_trace",
+    "get_trace",
 ]

@@ -29,8 +29,25 @@ scheduler's virtual-deadline behaviour can be analysed.
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def nearest_rank(sorted_values: List[float], fraction: float) -> Optional[float]:
+    """Ceil-based nearest-rank percentile of a pre-sorted sample.
+
+    The value at 1-based rank ``ceil(fraction * n)`` (fraction 0 maps to
+    the minimum); ``None`` on an empty sample.  Shared by
+    :class:`MetricsCollector` and :class:`TraceMetricsAccumulator` so the
+    in-process and trace-streamed tails use one definition.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
 
 
 @dataclass
@@ -98,9 +115,20 @@ class MetricsCollector:
     Parameters
     ----------
     warmup:
-        Jobs *released* before ``warmup`` seconds are excluded from DMR and
-        completions before ``warmup`` are excluded from FPS, so transients
-        from an empty system do not bias steady-state numbers.
+        Jobs *released* before ``warmup`` seconds are excluded from every
+        steady-state metric, so transients from an empty system do not
+        bias the numbers.
+
+    **Warmup rule.**  One population underlies all per-job metrics: jobs
+    with ``release_time >= warmup`` (release exactly at the boundary
+    counts).  FPS, per-task FPS, goodput, DMR, response times and the
+    rejection rate all draw from it, so their numerators and
+    denominators agree on any one run.  (A previous version filtered
+    FPS/goodput only on ``finish_time >= warmup``, which counted frames
+    from jobs released *during* warmup — work DMR's population never
+    saw, making the throughput and miss-rate views of one run
+    disagree.)  Completion-window bounds still apply on top: FPS and
+    goodput count only completions with ``finish_time <= now``.
     """
 
     def __init__(self, warmup: float = 0.0) -> None:
@@ -211,14 +239,21 @@ class MetricsCollector:
         ]
 
     def total_fps(self, now: float) -> float:
-        """Completed frames per second over the post-warmup window."""
+        """Completed frames per second over the post-warmup window.
+
+        Counts completions (by ``now``) of post-warmup-released jobs
+        only — the same population DMR measures (see the class
+        docstring's warmup rule).
+        """
         window = now - self.warmup
         if window <= 0.0:
             return 0.0
         completed = sum(
             1
             for job in self.jobs
-            if job.finish_time is not None and self.warmup <= job.finish_time <= now
+            if job.finish_time is not None
+            and job.release_time >= self.warmup
+            and job.finish_time <= now
         )
         return completed / window
 
@@ -231,13 +266,18 @@ class MetricsCollector:
         return missed / len(jobs)
 
     def per_task_fps(self, now: float) -> Dict[str, float]:
-        """Completed frames per second broken down by task."""
+        """Completed frames per second broken down by task (same
+        post-warmup-released population as :meth:`total_fps`)."""
         window = now - self.warmup
         out: Dict[str, float] = {}
         if window <= 0.0:
             return out
         for job in self.jobs:
-            if job.finish_time is not None and self.warmup <= job.finish_time <= now:
+            if (
+                job.finish_time is not None
+                and job.release_time >= self.warmup
+                and job.finish_time <= now
+            ):
                 out[job.task_name] = out.get(job.task_name, 0.0) + 1.0
         return {name: count / window for name, count in out.items()}
 
@@ -283,13 +323,7 @@ class MetricsCollector:
         between adjacent ranks as the sample count changed; the ceil
         definition is monotone in ``fraction`` and stable.
         """
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        values = self.response_times()
-        if not values:
-            return None
-        rank = max(1, math.ceil(fraction * len(values)))
-        return values[rank - 1]
+        return nearest_rank(self.response_times(), fraction)
 
     def rejection_rate(self, now: float) -> float:
         """Fraction of post-warmup releases refused by admission control.
@@ -316,7 +350,8 @@ class MetricsCollector:
 
         The deadline-sensitive counterpart of :meth:`total_fps`: a frame
         that finishes late still counts toward FPS (work was done) but
-        not toward goodput (the consumer could no longer use it).
+        not toward goodput (the consumer could no longer use it).  Same
+        post-warmup-released population as FPS and DMR.
         """
         window = now - self.warmup
         if window <= 0.0:
@@ -325,7 +360,8 @@ class MetricsCollector:
             1
             for job in self.jobs
             if job.finish_time is not None
-            and self.warmup <= job.finish_time <= now
+            and job.release_time >= self.warmup
+            and job.finish_time <= now
             and job.finish_time <= job.absolute_deadline
         )
         return good / window
@@ -381,3 +417,201 @@ class MetricsCollector:
     def completed_count(self) -> int:
         """Total jobs completed (including during warmup)."""
         return sum(1 for job in self.jobs if job.finish_time is not None)
+
+
+class TraceMetricsAccumulator:
+    """Streaming FPS/DMR/tail/queue-depth accumulation from a trace stream.
+
+    Feeds on trace records (either recorder backend, or records decoded
+    straight off a :mod:`repro.sim.trace_io` file) in time order and
+    reproduces :class:`MetricsCollector`'s steady-state numbers without
+    ever materialising the trace: resident state is one pending
+    admission decision, the in-flight job dict, and packed per-job
+    arrays (response times, decided deadlines) — O(jobs), never
+    O(trace records).  Queue depth is integrated on the fly, so the
+    step function is not retained at all.
+
+    The accumulator consumes the ``job_*`` lifecycle kinds
+    (``job_release`` — which must carry the ``deadline`` field —
+    ``job_skip``, ``job_reject``, ``job_complete``, ``job_shed``) and
+    ignores every other kind, so it can be fed a full trace or a
+    kind-filtered one.  Admission is inferred from record adjacency: a
+    release's ``job_skip``/``job_reject`` is emitted before any other
+    record of that job, so a release followed by anything else was
+    admitted.
+
+    Usage::
+
+        acc = TraceMetricsAccumulator(warmup=2.0)
+        for record in read_trace(path):   # lazy views, one at a time
+            acc.feed(record)
+        summary = acc.finalize(now=duration)
+    """
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        self.warmup = warmup
+        #: (task, job) -> (release_time, deadline) of admitted, in-flight jobs.
+        self._open: Dict[Tuple[str, int], Tuple[float, float]] = {}
+        #: The release awaiting its admission outcome (see class docstring).
+        self._pending: Optional[Tuple[Tuple[str, int], float, float]] = None
+        self._released_total = 0
+        self._completed_total = 0
+        self._released_post = 0
+        self._rejected_total = 0
+        self._rejected_post = 0
+        #: Response times of completed post-warmup-released jobs.
+        self._responses = array("d")
+        #: (deadline, missed) of completed post-warmup jobs, for DMR.
+        self._completed_deadlines = array("d")
+        self._completed_missed = array("b")
+        #: Deadlines of post-warmup jobs shed without completing.
+        self._unfinished_deadlines = array("d")
+        # queue-depth integration state
+        self._depth = 0
+        self._last_step = 0.0
+        self._carried = 0
+        self._weighted = 0.0
+        self._peak = 0
+        self._any_step = False
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, record) -> None:
+        """Consume one trace record (records must arrive in time order)."""
+        kind = record.kind
+        if kind == "job_release":
+            self._resolve_pending()
+            key = (record.get("task"), record.get("job"))
+            deadline = record.get("deadline")
+            if deadline is None:
+                raise ValueError(
+                    "job_release record lacks the 'deadline' field; "
+                    "trace predates the streaming-metrics format"
+                )
+            self._released_total += 1
+            if record.time >= self.warmup:
+                self._released_post += 1
+            self._pending = (key, record.time, deadline)
+            return
+        if kind in ("job_skip", "job_reject"):
+            key = (record.get("task"), record.get("job"))
+            if self._pending is not None and self._pending[0] == key:
+                _, release, deadline = self._pending
+                self._pending = None
+                if kind == "job_reject":
+                    # rejections feed the rejection rate, never DMR
+                    self._rejected_total += 1
+                    if release >= self.warmup:
+                        self._rejected_post += 1
+                elif release >= self.warmup:
+                    # a source-skipped frame is a decided deadline miss
+                    self._unfinished_deadlines.append(deadline)
+                return
+        self._resolve_pending()
+        if kind == "job_complete":
+            key = (record.get("task"), record.get("job"))
+            entry = self._open.pop(key, None)
+            self._completed_total += 1
+            self._step_depth(record.time, self._depth - 1)
+            if entry is not None and entry[0] >= self.warmup:
+                release, deadline = entry
+                self._responses.append(record.time - release)
+                self._completed_deadlines.append(deadline)
+                self._completed_missed.append(
+                    1 if record.time > deadline else 0
+                )
+        elif kind == "job_shed":
+            key = (record.get("task"), record.get("job"))
+            entry = self._open.pop(key, None)
+            self._step_depth(record.time, self._depth - 1)
+            if entry is not None and entry[0] >= self.warmup:
+                self._unfinished_deadlines.append(entry[1])
+
+    def _resolve_pending(self) -> None:
+        """Commit the held release as admitted (nothing refused it)."""
+        if self._pending is None:
+            return
+        key, release, deadline = self._pending
+        self._pending = None
+        self._open[key] = (release, deadline)
+        self._step_depth(release, self._depth + 1)
+
+    def _step_depth(self, time: float, depth: int) -> None:
+        depth = max(depth, 0)
+        if time > self.warmup:
+            start = max(self._last_step, self.warmup)
+            if time > start:
+                self._weighted += self._depth * (time - start)
+            self._peak = max(self._peak, depth)
+        else:
+            self._carried = depth
+        self._depth = depth
+        self._last_step = time
+        self._any_step = True
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def finalize(self, now: float) -> Dict[str, object]:
+        """Steady-state metrics at ``now`` (must be >= the last record).
+
+        Returns the same keys :meth:`RunResult.metrics_summary` ships
+        for the corresponding metrics; safe to call repeatedly (the
+        accumulated state is not consumed).
+        """
+        self._resolve_pending()
+        window = now - self.warmup
+        decided = missed = 0
+        for deadline, was_missed in zip(
+            self._completed_deadlines, self._completed_missed
+        ):
+            if deadline <= now:
+                decided += 1
+                missed += was_missed
+        for deadline in self._unfinished_deadlines:
+            if deadline <= now:
+                decided += 1
+                missed += 1
+        for release, deadline in self._open.values():
+            if release >= self.warmup and deadline <= now:
+                decided += 1
+                missed += 1
+        completed_post = len(self._responses)
+        good = sum(1 for was_missed in self._completed_missed if not was_missed)
+        responses = sorted(self._responses)
+        if window > 0.0 and self._any_step:
+            tail_start = max(self._last_step, self.warmup)
+            weighted = self._weighted + self._depth * max(
+                now - tail_start, 0.0
+            )
+            mean_depth = weighted / window
+        else:
+            mean_depth = 0.0
+        return {
+            "total_fps": completed_post / window if window > 0.0 else 0.0,
+            "dmr": missed / decided if decided else 0.0,
+            "goodput": good / window if window > 0.0 else 0.0,
+            "rejection_rate": (
+                self._rejected_post / self._released_post
+                if self._released_post
+                else 0.0
+            ),
+            "released": self._released_total,
+            "completed": self._completed_total,
+            "rejected": self._rejected_total,
+            "p99_response": nearest_rank(responses, 0.99),
+            "p999_response": nearest_rank(responses, 0.999),
+            "mean_queue_depth": mean_depth,
+            "max_queue_depth": max(self._peak, self._carried),
+        }
+
+
+def metrics_from_trace(
+    records: Iterable, warmup: float, now: float
+) -> Dict[str, object]:
+    """One-shot streaming accumulation over any trace-record iterable."""
+    accumulator = TraceMetricsAccumulator(warmup=warmup)
+    for record in records:
+        accumulator.feed(record)
+    return accumulator.finalize(now)

@@ -12,6 +12,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+#: Selectable recorder implementations (``RunConfig.trace_backend``):
+#: ``"list"`` is this module's one-dataclass-per-event recorder,
+#: ``"columnar"`` the array-backed struct-of-arrays recorder in
+#: :mod:`repro.sim.trace_columnar` (same API, ~10x less memory per
+#: event, identical query results record-for-record).
+TRACE_BACKENDS = ("list", "columnar")
+
+
+def make_trace_recorder(
+    backend: str = "list", enabled: bool = True, kinds: Optional[set] = None
+):
+    """Build a trace recorder of the selected backend.
+
+    Both backends are stdlib-only and expose the same recording/query
+    API, so every trace consumer works unchanged against either.
+    """
+    if backend == "list":
+        return TraceRecorder(enabled=enabled, kinds=kinds)
+    if backend == "columnar":
+        # late import: trace_columnar imports TraceRecord from here
+        from repro.sim.trace_columnar import ColumnarTrace
+
+        return ColumnarTrace(enabled=enabled, kinds=kinds)
+    raise ValueError(
+        f"trace_backend must be one of {TRACE_BACKENDS}, got {backend!r}"
+    )
+
 
 @dataclass(frozen=True)
 class TraceRecord:

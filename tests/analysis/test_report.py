@@ -3,12 +3,16 @@
 import pytest
 
 from repro.analysis.report import (
+    AGGREGATE_METRICS,
+    aggregate_to_csv,
     ascii_chart,
+    render_aggregate_table,
     render_fig1_table,
     render_sweep_table,
     sweep_to_csv,
 )
 from repro.dnn.ops import OpType
+from repro.exp.aggregate import AggregatePoint
 from repro.workloads.scenarios import SweepPoint
 
 
@@ -65,6 +69,95 @@ class TestCsv:
         naive_rows = [l for l in csv.splitlines() if l.startswith("naive")]
         assert naive_rows[0].split(",")[1] == "2"
         assert naive_rows[1].split(",")[1] == "4"
+
+
+def aggregates(p99=0.02, p999=0.03):
+    def cell(num_tasks, fps):
+        return AggregatePoint(
+            variant="sgprs_1.5",
+            num_tasks=num_tasks,
+            n=3,
+            mean_fps=fps,
+            ci_fps=1.5,
+            mean_dmr=0.1,
+            ci_dmr=0.01,
+            mean_utilization=0.5,
+            ci_utilization=0.05,
+            mean_p99=p99,
+            ci_p99=0.001 if p99 is not None else 0.0,
+            mean_p999=p999,
+            ci_p999=0.002 if p999 is not None else 0.0,
+            mean_queue_depth=1.25,
+            ci_queue_depth=0.25,
+            max_queue_depth=7,
+        )
+
+    return {"sgprs_1.5": [cell(2, 60.0), cell(4, 118.0)]}
+
+
+class TestAggregateTable:
+    def test_tail_metrics_renderable(self):
+        for metric in (
+            "p99_response",
+            "p999_response",
+            "mean_queue_depth",
+            "max_queue_depth",
+        ):
+            assert metric in AGGREGATE_METRICS
+            table = render_aggregate_table(aggregates(), metric)
+            assert "sgprs_1.5" in table
+
+    def test_p99_rendered_in_ms(self):
+        table = render_aggregate_table(aggregates(), "p99_response")
+        assert "20.0" in table  # 0.02 s -> 20.0 ms
+
+    def test_none_percentile_dashed(self):
+        table = render_aggregate_table(
+            aggregates(p99=None, p999=None), "p99_response"
+        )
+        assert "-" in table
+
+    def test_max_queue_depth_is_plain_int(self):
+        table = render_aggregate_table(aggregates(), "max_queue_depth")
+        assert "7" in table
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            render_aggregate_table(aggregates(), "latency")
+
+
+class TestAggregateCsv:
+    def test_header_includes_tail_columns(self):
+        csv = aggregate_to_csv(aggregates())
+        header = csv.strip().splitlines()[0]
+        for column in (
+            "mean_p99",
+            "ci_p99",
+            "mean_p999",
+            "ci_p999",
+            "mean_queue_depth",
+            "ci_queue_depth",
+            "max_queue_depth",
+        ):
+            assert column in header.split(",")
+
+    def test_rows_carry_tail_values(self):
+        csv = aggregate_to_csv(aggregates())
+        lines = csv.strip().splitlines()
+        assert len(lines) == 3
+        header = lines[0].split(",")
+        row = dict(zip(header, lines[1].split(",")))
+        assert float(row["mean_p99"]) == pytest.approx(0.02)
+        assert float(row["mean_queue_depth"]) == pytest.approx(1.25)
+        assert int(row["max_queue_depth"]) == 7
+
+    def test_none_percentiles_emit_empty_cells(self):
+        csv = aggregate_to_csv(aggregates(p99=None, p999=None))
+        lines = csv.strip().splitlines()
+        header = lines[0].split(",")
+        row = dict(zip(header, lines[1].split(",")))
+        assert row["mean_p99"] == ""
+        assert row["mean_p999"] == ""
 
 
 class TestFig1Table:

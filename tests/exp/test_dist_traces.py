@@ -1,0 +1,115 @@
+"""Trace shipping through run stores (the sideways channel).
+
+Traces are deliberately excluded from the slim ``PointResult`` IPC
+payload; ``record_traces`` ships them into the store's ``traces/``
+prefix instead.  These tests pin the contract end to end: worker-side
+save, analysis-side bulk load, determinism of the stored bytes, and the
+refusal paths.
+"""
+
+import pytest
+
+from repro.analysis.persistence import load_run_traces
+from repro.analysis.timeline import first_divergence
+from repro.exp.dist import (
+    init_run,
+    load_point_trace,
+    run_dist_worker,
+    save_point_trace,
+    trace_key,
+)
+from repro.exp.grid import GridSpec
+from repro.exp.worker import run_point
+
+SPEC = GridSpec(
+    scenario="scenario1",
+    num_contexts=2,
+    variants=("naive", "sgprs_1.5"),
+    task_counts=(2,),
+    seeds=(0, 1),
+    duration=0.5,
+    warmup=0.1,
+)
+
+
+class TestPointTraceStore:
+    def test_save_load_round_trip(self, tmp_path):
+        point = next(SPEC.points())
+        result = run_point(point, trace_store=tmp_path)
+        stored = load_point_trace(tmp_path, point)
+        assert stored is not None
+        assert len(stored) == len(list(stored))
+        assert result.total_fps > 0.0
+
+    def test_missing_trace_loads_as_none(self, tmp_path):
+        assert load_point_trace(tmp_path, next(SPEC.points())) is None
+
+    def test_trace_key_is_per_config(self):
+        points = list(SPEC.points())
+        keys = {trace_key(p) for p in points}
+        assert len(keys) == len(points)
+        assert all(k.startswith("traces/") for k in keys)
+
+    def test_double_save_is_idempotent(self, tmp_path):
+        point = next(SPEC.points())
+        run_point(point, trace_store=tmp_path)
+        first = (tmp_path / trace_key(point)).read_bytes()
+        run_point(point, trace_store=tmp_path)
+        assert (tmp_path / trace_key(point)).read_bytes() == first
+
+
+class TestWorkerRecordTraces:
+    def test_worker_ships_every_computed_point(self, tmp_path):
+        init_run(tmp_path, SPEC)
+        run_dist_worker(tmp_path, owner="w0", record_traces=True)
+        traces = load_run_traces(tmp_path)
+        assert set(traces) == {p.label for p in SPEC.points()}
+        assert all(len(t) > 0 for t in traces.values())
+
+    def test_untraced_run_yields_empty_dict(self, tmp_path):
+        init_run(tmp_path, SPEC)
+        run_dist_worker(tmp_path, owner="w0")
+        assert load_run_traces(tmp_path) == {}
+
+    def test_record_traces_refuses_custom_point_fn(self, tmp_path):
+        init_run(tmp_path, SPEC)
+        with pytest.raises(ValueError, match="point_fn"):
+            run_dist_worker(
+                tmp_path,
+                owner="w0",
+                point_fn=lambda p: run_point(p),
+                record_traces=True,
+            )
+
+    def test_stored_trace_matches_inline_run(self, tmp_path):
+        from repro.exp.grid import GridPoint
+
+        init_run(tmp_path, SPEC)
+        run_dist_worker(tmp_path, owner="w0", record_traces=True)
+        point = next(SPEC.points())
+        stored = load_point_trace(tmp_path, point)
+        inline = run_point(point, trace_store=tmp_path / "again")
+        again = load_point_trace(tmp_path / "again", point)
+        assert first_divergence(stored, again) is None
+        assert inline.total_fps > 0.0
+
+    def test_two_runs_diff_event_by_event(self, tmp_path):
+        """The cross-run comparison workflow the trace store exists for."""
+        import dataclasses
+
+        init_run(tmp_path / "a", SPEC)
+        run_dist_worker(tmp_path / "a", owner="w0", record_traces=True)
+        jittered = dataclasses.replace(SPEC, work_jitter_cv=0.2)
+        init_run(tmp_path / "b", jittered)
+        run_dist_worker(tmp_path / "b", owner="w0", record_traces=True)
+
+        traces_a = load_run_traces(tmp_path / "a")
+        traces_b = load_run_traces(tmp_path / "b")
+        label = next(iter(traces_a))
+        # same grid coordinates, different dynamics: a divergence exists
+        # and is reported with its index
+        divergence = first_divergence(traces_a[label], traces_b[label])
+        assert divergence is not None
+        index, left, right = divergence
+        assert index >= 0
+        assert left is not None or right is not None

@@ -165,6 +165,88 @@ class TestAggregation:
         )
 
 
+class TestTailMetricAggregation:
+    """p99/p999/queue-depth must aggregate, not silently drop (PR-8 fix)."""
+
+    def tail_result(self, seed, p99, p999, mean_depth, max_depth):
+        point = GridPoint(
+            scenario="scenario1",
+            num_contexts=2,
+            variant="sgprs_1.5",
+            num_tasks=4,
+            seed=seed,
+            base_seed=seed,
+        )
+        return PointResult(
+            point=point,
+            total_fps=100.0,
+            dmr=0.0,
+            utilization=0.5,
+            mean_pressure=1.0,
+            released=10,
+            completed=10,
+            p99_response=p99,
+            p999_response=p999,
+            mean_queue_depth=mean_depth,
+            max_queue_depth=max_depth,
+        )
+
+    def test_percentiles_mean_and_ci(self):
+        results = [
+            self.tail_result(0, 0.010, 0.012, 1.0, 3),
+            self.tail_result(1, 0.020, 0.022, 2.0, 5),
+            self.tail_result(2, 0.030, 0.032, 3.0, 4),
+        ]
+        (cell,) = aggregate_results(results)["sgprs_1.5"]
+        assert cell.mean_p99 == pytest.approx(0.020)
+        assert cell.mean_p999 == pytest.approx(0.022)
+        assert cell.ci_p99 > 0.0
+        assert cell.mean_queue_depth == pytest.approx(2.0)
+        assert cell.ci_queue_depth > 0.0
+        # max depth is a peak over seeds, not a mean
+        assert cell.max_queue_depth == 5
+
+    def test_none_percentile_seeds_skipped(self):
+        results = [
+            self.tail_result(0, None, None, 0.0, 0),
+            self.tail_result(1, 0.020, 0.025, 1.0, 2),
+        ]
+        (cell,) = aggregate_results(results)["sgprs_1.5"]
+        assert cell.mean_p99 == pytest.approx(0.020)
+        assert cell.mean_p999 == pytest.approx(0.025)
+        assert cell.ci_p99 == 0.0
+
+    def test_all_none_percentiles_stay_none(self):
+        results = [
+            self.tail_result(0, None, None, 0.0, 0),
+            self.tail_result(1, None, None, 0.0, 0),
+        ]
+        (cell,) = aggregate_results(results)["sgprs_1.5"]
+        assert cell.mean_p99 is None
+        assert cell.mean_p999 is None
+        assert cell.ci_p99 == 0.0
+
+    def test_real_runs_carry_tail_metrics_through(self):
+        spec = GridSpec(
+            scenario="scenario1",
+            num_contexts=2,
+            variants=("sgprs_1.5",),
+            task_counts=(6,),
+            seeds=(0, 1),
+            duration=0.6,
+            warmup=0.2,
+            work_jitter_cv=0.2,
+        )
+        result = run_grid(spec)
+        (cell,) = aggregate_results(result.results)["sgprs_1.5"]
+        assert cell.mean_p99 is not None and cell.mean_p99 > 0.0
+        manual = sum(r.p99_response for r in result.results) / 2
+        assert cell.mean_p99 == pytest.approx(manual)
+        assert cell.max_queue_depth == max(
+            r.max_queue_depth for r in result.results
+        )
+
+
 def synth_result(zoo_mix, seed=0, dmr=0.0, total_utilization=2.0,
                  fps=100.0):
     """A hand-built synth-axis PointResult (no simulation needed)."""

@@ -289,7 +289,13 @@ class _LegacyReleaseLoop:
         job = JobInstance(task, index, now)
         self.metrics.job_released(task.name, index, now, job.absolute_deadline)
         if self.trace is not None:
-            self.trace.record(now, "job_release", task=task.name, job=index)
+            self.trace.record(
+                now,
+                "job_release",
+                task=task.name,
+                job=index,
+                deadline=job.absolute_deadline,
+            )
         previous = self._latest_job.get(task.name)
         if self.admit_job(job, previous):
             self._latest_job[task.name] = job

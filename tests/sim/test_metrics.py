@@ -253,12 +253,35 @@ class TestWarmupBoundaries:
         assert metrics.deadline_miss_rate(2.0) == 0.0
         assert metrics.per_task_dmr(2.0) == {}
 
-    def test_finish_exactly_at_warmup_counts_for_fps(self):
+    def test_release_exactly_at_warmup_counts_for_fps(self):
+        # One population for every per-job metric: FPS counts the same
+        # release >= warmup jobs DMR measures (boundary included).
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 1.0, 3.0)  # release == warmup
+        metrics.job_completed("a", 0, 1.5)
+        assert metrics.total_fps(2.0) == pytest.approx(1.0)
+        assert metrics.per_task_fps(2.0) == {"a": pytest.approx(1.0)}
+
+    def test_warmup_released_job_excluded_from_fps(self):
+        # A warmup-released job used to count for FPS while being
+        # excluded from DMR; both now measure the same population, so
+        # its completion after warmup contributes to neither.
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 1.0 - 1e-12, 3.0)
+        metrics.job_completed("a", 0, 1.5)  # finishes inside the window
+        assert metrics.total_fps(2.0) == 0.0
+        assert metrics.per_task_fps(2.0) == {}
+        assert metrics.goodput(2.0) == 0.0
+        assert metrics.deadline_miss_rate(2.0) == 0.0
+
+    def test_finish_exactly_at_warmup_still_needs_post_warmup_release(self):
+        # finish == warmup is not enough under the unified rule: the
+        # release decides the population, and this one pre-dates warmup
         metrics = MetricsCollector(warmup=1.0)
         metrics.job_released("a", 0, 0.5, 3.0)
         metrics.job_completed("a", 0, 1.0)  # finish == warmup
-        assert metrics.total_fps(2.0) == pytest.approx(1.0)
-        assert metrics.per_task_fps(2.0) == {"a": pytest.approx(1.0)}
+        assert metrics.total_fps(2.0) == 0.0
+        assert metrics.deadline_miss_rate(2.0) == 0.0
 
     def test_finish_exactly_at_now_counts_for_fps(self):
         metrics = MetricsCollector(warmup=1.0)

@@ -1,0 +1,111 @@
+"""Streaming trace-metric accumulation matches the live collector.
+
+:class:`TraceMetricsAccumulator` recomputes the steady-state metrics
+from a trace stream alone; every scenario here runs a real simulation
+twice through the same numbers — once live (MetricsCollector inside the
+run) and once streamed (feeding the recorded trace) — and demands they
+agree to float precision, including under admission control where
+releases can be rejected or queued.
+"""
+
+import pytest
+
+from repro.core.context_pool import ContextPoolConfig
+from repro.core.runner import RunConfig, run_simulation
+from repro.gpu.spec import RTX_2080_TI
+from repro.sim.metrics import TraceMetricsAccumulator, metrics_from_trace
+from repro.sim.trace import TraceRecord
+from repro.workloads.generator import identical_periodic_tasks
+
+DURATION = 0.6
+WARMUP = 0.15
+
+SCENARIOS = [
+    # (id, num_tasks, extra RunConfig kwargs)
+    ("closed_overload", 20, {}),
+    ("reject_poisson", 8, {"admission": "reject", "arrival": "poisson"}),
+    ("queue_mmpp", 8, {"admission": "queue:depth=2", "arrival": "mmpp"}),
+]
+
+
+def run_traced(num_tasks, trace_backend, **kwargs):
+    pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+    tasks = identical_periodic_tasks(
+        num_tasks, nominal_sms=pool.sms_per_context
+    )
+    return run_simulation(
+        tasks,
+        RunConfig(
+            pool=pool,
+            duration=DURATION,
+            warmup=WARMUP,
+            record_trace=True,
+            trace_backend=trace_backend,
+            **kwargs,
+        ),
+    )
+
+
+def assert_matches_summary(streamed, summary):
+    for key, value in streamed.items():
+        reference = summary[key]
+        if reference is None or value is None:
+            assert value == reference, key
+        else:
+            assert value == pytest.approx(reference, abs=1e-9), key
+
+
+class TestAccumulatorEquivalence:
+    @pytest.mark.parametrize("trace_backend", ["list", "columnar"])
+    @pytest.mark.parametrize(
+        "num_tasks,kwargs",
+        [s[1:] for s in SCENARIOS],
+        ids=[s[0] for s in SCENARIOS],
+    )
+    def test_matches_live_collector(self, num_tasks, kwargs, trace_backend):
+        result = run_traced(num_tasks, trace_backend, **kwargs)
+        streamed = metrics_from_trace(result.trace, WARMUP, DURATION)
+        summary = result.metrics_summary()
+        assert streamed["released"] > 0
+        assert_matches_summary(streamed, summary)
+
+    def test_survives_disk_round_trip(self):
+        from repro.sim.trace_io import trace_from_bytes, trace_to_bytes
+
+        result = run_traced(20, "columnar")
+        rebuilt = trace_from_bytes(trace_to_bytes(result.trace))
+        streamed = metrics_from_trace(rebuilt, WARMUP, DURATION)
+        assert_matches_summary(streamed, result.metrics_summary())
+
+    def test_incremental_feed_equals_one_shot(self):
+        result = run_traced(20, "columnar")
+        accumulator = TraceMetricsAccumulator(warmup=WARMUP)
+        for record in result.trace:
+            accumulator.feed(record)
+        assert accumulator.finalize(DURATION) == metrics_from_trace(
+            result.trace, WARMUP, DURATION
+        )
+
+
+class TestAccumulatorContract:
+    def test_release_without_deadline_rejected(self):
+        accumulator = TraceMetricsAccumulator()
+        stale = TraceRecord(0.0, "job_release", {"task": "t0", "job": 0})
+        with pytest.raises(ValueError, match="deadline"):
+            accumulator.feed(stale)
+
+    def test_empty_trace_finalizes_to_zeros(self):
+        metrics = TraceMetricsAccumulator(warmup=0.5).finalize(1.0)
+        assert metrics["total_fps"] == 0.0
+        assert metrics["dmr"] == 0.0
+        assert metrics["released"] == 0
+        assert metrics["p99_response"] is None
+        assert metrics["max_queue_depth"] == 0
+
+    def test_finalize_is_repeatable(self):
+        result = run_traced(20, "columnar")
+        accumulator = TraceMetricsAccumulator(warmup=WARMUP)
+        for record in result.trace:
+            accumulator.feed(record)
+        first = accumulator.finalize(DURATION)
+        assert accumulator.finalize(DURATION) == first
