@@ -302,12 +302,26 @@ class SchedulerBase:
         self._schedule_next_release(task)
 
     def _job_departed(self, job: JobInstance) -> None:
-        """Take an admitted job out of the in-flight accounting once."""
+        """Take an admitted job out of the in-flight accounting once.
+
+        The count must exist and be positive — every admitted job
+        incremented it at release.  A missing or non-positive count means
+        the admit/depart bookkeeping drifted; failing loudly here beats
+        the silent ``dict.get(name, 1) - 1`` this once did, which invented
+        a phantom admission and let ``_inflight_total`` go negative
+        without anyone noticing.
+        """
         if not job.admitted or job._departed:
             return
         job._departed = True
         name = job.task.name
-        self._inflight[name] = self._inflight.get(name, 1) - 1
+        count = self._inflight.get(name, 0)
+        if count <= 0 or self._inflight_total <= 0:
+            raise RuntimeError(
+                f"in-flight accounting drift: job {name}#{job.index} departed "
+                f"with inflight[{name}]={count}, total={self._inflight_total}"
+            )
+        self._inflight[name] = count - 1
         self._inflight_total -= 1
         self.metrics.record_queue_depth(self.engine.now, self._inflight_total)
 

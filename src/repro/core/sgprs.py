@@ -47,7 +47,7 @@ class SgprsScheduler(SchedulerBase):
             return max(
                 empty,
                 key=lambda c: (
-                    len(c.free_streams()),
+                    c.free_stream_count(),
                     -c.context_id,
                 ),
             )

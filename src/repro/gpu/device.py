@@ -47,7 +47,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.gpu.allocator import AllocationParams, AllocationResult, compute_allocation
+from repro.gpu.allocator import (
+    AllocationParams,
+    AllocationResult,
+    WaterfillCache,
+    compute_allocation,
+)
 from repro.gpu.context import SimContext
 from repro.gpu.kernel import StageKernel
 from repro.gpu.spec import GpuDeviceSpec
@@ -121,11 +126,14 @@ class GpuDevice:
         self._table = None
         self._sentinel: Optional[Event] = None
         self._sentinel_slot = -1
+        #: Bit-transparent memoisation of per-context water-fills, shared
+        #: between the scalar and vectorised allocation paths.
+        self._shares_cache = WaterfillCache()
         if rearm == "vectorised":
             # Deferred import: numpy stays optional for the scalar modes.
             from repro.gpu.table import KernelTable
 
-            self._table = KernelTable(self.contexts)
+            self._table = KernelTable(self.contexts, shares_cache=self._shares_cache)
         self._start_time = engine.now
         self._last_update = engine.now
         self._last_allocation = AllocationResult()
@@ -314,6 +322,7 @@ class GpuDevice:
             float(self.spec.total_sms),
             self.spec.aggregate_speedup_cap,
             self.params,
+            cache=self._shares_cache,
         )
         self.alloc_passes += 1
         self._last_allocation = result

@@ -5,6 +5,13 @@ hardware-high-priority and two hardware-low-priority streams, capping
 concurrency at four stages per context).  A stream holds at most one
 resident stage kernel at a time; queued stages wait in the context's
 priority queues until a stream frees up.
+
+A stream created by a :class:`~repro.gpu.context.SimContext` carries a
+back-reference to its owner; :meth:`CudaStream.attach` and
+:meth:`CudaStream.detach` notify the owner so its residency revision and
+cached free-stream occupancy can never go stale, no matter which code path
+moved the kernel.  Bare streams (``owner=None``, as unit tests build them)
+skip the notification.
 """
 
 from __future__ import annotations
@@ -36,10 +43,18 @@ PREFERRED_CLASS = {
 class CudaStream:
     """One stream: a slot that executes at most one stage kernel."""
 
-    def __init__(self, stream_id: int, stream_class: StreamClass) -> None:
+    def __init__(
+        self,
+        stream_id: int,
+        stream_class: StreamClass,
+        owner: Optional[object] = None,
+    ) -> None:
         self.stream_id = stream_id
         self.stream_class = stream_class
         self.kernel: Optional[StageKernel] = None
+        #: Owning context (or ``None`` for bare streams); attach/detach
+        #: notify it so occupancy caches stay exact.
+        self.owner = owner
 
     @property
     def busy(self) -> bool:
@@ -60,6 +75,8 @@ class CudaStream:
             )
         self.kernel = kernel
         kernel.stream_id = self.stream_id
+        if self.owner is not None:
+            self.owner._on_residency_change()
 
     def detach(self) -> StageKernel:
         """Remove and return the resident kernel.
@@ -74,6 +91,8 @@ class CudaStream:
         kernel = self.kernel
         self.kernel = None
         kernel.stream_id = None
+        if self.owner is not None:
+            self.owner._on_residency_change()
         return kernel
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

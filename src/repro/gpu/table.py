@@ -55,7 +55,12 @@ except ImportError as exc:  # pragma: no cover - exercised only without numpy
         "rearm_mode='incremental', which is stdlib-only."
     ) from exc
 
-from repro.gpu.allocator import AllocationParams, AllocationResult, intra_context_shares
+from repro.gpu.allocator import (
+    AllocationParams,
+    AllocationResult,
+    WaterfillCache,
+    intra_context_shares,
+)
 from repro.gpu.context import SimContext
 from repro.gpu.kernel import StageKernel
 from repro.speedup.composite import CompositeWorkload
@@ -104,8 +109,15 @@ class KernelTable:
     and the bit-identity rules every method obeys.
     """
 
-    def __init__(self, contexts: Sequence[SimContext]) -> None:
+    def __init__(
+        self,
+        contexts: Sequence[SimContext],
+        shares_cache: Optional[WaterfillCache] = None,
+    ) -> None:
         self.contexts: List[SimContext] = list(contexts)
+        #: Optional bit-transparent water-fill memoisation (usually the
+        #: owning device's, shared with its scalar allocation path).
+        self._shares_cache = shares_cache
         self.offsets: List[int] = []
         total = 0
         for context in self.contexts:
@@ -279,7 +291,10 @@ class KernelTable:
             if count == 0:
                 self._granted[ci] = 0.0
                 continue
-            shares = intra_context_shares(kernels, context.nominal_sms)
+            if self._shares_cache is not None:
+                shares = self._shares_cache.shares(kernels, context.nominal_sms)
+            else:
+                shares = intra_context_shares(kernels, context.nominal_sms)
             self._granted[ci] = sum(shares.values())
             colocation = 1.0 / (1.0 + params.beta * (count - 1))
             for kernel in kernels:

@@ -328,14 +328,18 @@ class MetricsCollector:
     def rejection_rate(self, now: float) -> float:
         """Fraction of post-warmup releases refused by admission control.
 
-        Rejections are decided at release time, so every post-warmup
-        release up to ``now`` is in the denominator (unlike DMR, which
-        waits for deadlines to pass).
+        The population is every job with ``release_time >= warmup`` — the
+        same release-based boundary DMR/FPS/goodput use (a release at
+        exactly ``warmup`` is post-warmup).  Rejections are decided at
+        release time, so nothing waits for a deadline to pass; ``now`` is
+        accepted for signature parity with the other rate metrics but does
+        not bound the population (jobs are only recorded once released, so
+        a release after ``now`` cannot be present anyway — an earlier
+        version filtered ``release_time <= now``, silently excluding a
+        release at exactly ``now`` from the denominator).
         """
         released = [
-            job
-            for job in self.jobs
-            if self.warmup <= job.release_time <= now
+            job for job in self.jobs if job.release_time >= self.warmup
         ]
         if not released:
             return 0.0

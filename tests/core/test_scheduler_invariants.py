@@ -279,3 +279,117 @@ class TestSheddingWorkConservation:
         # the shed kernel's partial progress (rate * shed_at) is integrated;
         # without the fix this is exactly 0.0
         assert device.total_work_done > 0.0
+
+
+class TestInflightAccounting:
+    """The admit/depart ledger: non-negative always, loud when forged.
+
+    ``_job_departed`` used to compute ``self._inflight.get(name, 1) - 1``,
+    silently inventing a phantom admission for a missing key — drift in
+    the ledger produced negative totals instead of an error.
+    """
+
+    def _build(self, num_tasks, duration, admission=None, shedding=False):
+        from repro.core.context_pool import build_contexts
+        from repro.core.sgprs import SgprsScheduler
+        from repro.gpu.device import GpuDevice
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.metrics import MetricsCollector
+        from repro.sim.trace import TraceRecorder
+
+        base = SgprsScheduler
+        if shedding:
+
+            class SheddingSgprs(SgprsScheduler):
+                name = "sgprs_shedding"
+
+                def _release_job(self, task):
+                    super()._release_job(task)
+                    job = self._latest_job.get(task.name)
+                    # Shed every third job mid-flight; the rest run long
+                    # enough that overload also produces source skips.
+                    if (
+                        job is not None
+                        and not job.finished
+                        and job.index % 3 == 0
+                    ):
+                        self.engine.schedule_at(
+                            job.release_time + 0.5 * task.relative_deadline,
+                            lambda j=job: self.abort_job(j),
+                            tag=f"shed:{task.name}/j{job.index}",
+                        )
+
+            base = SheddingSgprs
+
+        pool = ContextPoolConfig.from_oversubscription(2, 1.0, RTX_2080_TI)
+        tasks = identical_periodic_tasks(
+            num_tasks, nominal_sms=pool.sms_per_context
+        )
+        engine = SimulationEngine()
+        trace = TraceRecorder()
+        device = GpuDevice(
+            engine, RTX_2080_TI, build_contexts(pool, RTX_2080_TI),
+            trace=trace,
+        )
+        metrics = MetricsCollector(warmup=0.0)
+        depths = []
+        original = metrics.record_queue_depth
+
+        def sampling_record(now, depth):
+            depths.append(depth)
+            original(now, depth)
+
+        metrics.record_queue_depth = sampling_record
+        scheduler = base(
+            engine, device, tasks, metrics,
+            trace=trace, horizon=duration, admission=admission,
+        )
+        return engine, scheduler, trace, depths
+
+    def _check_ledger(self, scheduler, depths):
+        assert depths, "the run must exercise the in-flight ledger"
+        assert min(depths) >= 0
+        assert all(count >= 0 for count in scheduler._inflight.values())
+        assert scheduler._inflight_total == sum(
+            scheduler._inflight.values()
+        )
+
+    def test_never_negative_under_overload_skips_and_sheds(self):
+        engine, scheduler, trace, depths = self._build(
+            num_tasks=72, duration=1.0, shedding=True
+        )
+        scheduler.start()
+        engine.run_until(1.0)
+        kinds = trace.kinds()
+        assert kinds.get("job_skip", 0) > 0
+        assert kinds.get("job_shed", 0) > 0
+        self._check_ledger(scheduler, depths)
+
+    def test_never_negative_under_admission_rejects(self):
+        from repro.core.admission import resolve_admission
+
+        engine, scheduler, trace, depths = self._build(
+            num_tasks=72, duration=1.0,
+            admission=resolve_admission("queue:depth=1"),
+        )
+        scheduler.start()
+        engine.run_until(1.0)
+        assert trace.kinds().get("job_reject", 0) > 0
+        self._check_ledger(scheduler, depths)
+
+    def test_forged_departure_fails_loudly(self):
+        engine, scheduler, trace, depths = self._build(
+            num_tasks=1, duration=0.1
+        )
+        scheduler.start()
+        engine.run_until(0.1)
+        job = next(iter(scheduler._latest_job.values()))
+        assert job.admitted
+        # Forge a second departure of the same job with the ledger empty:
+        # the old code silently invented a count of 1 and drove the
+        # per-task entry to 0 and the total negative.
+        job._departed = False
+        scheduler._inflight[job.task.name] = 0
+        scheduler._inflight_total = 0
+        with pytest.raises(RuntimeError, match="accounting drift"):
+            scheduler._job_departed(job)

@@ -187,3 +187,216 @@ class TestEstimates:
         idle = SimContext(1, 34.0)
         idle_eta = idle.estimate_completion(make_kernel("d"), now=0.0)
         assert busy_eta > idle_eta
+
+
+class TestEdfFifoTieBreak:
+    """A blocked stage must keep its FIFO rank among equal deadlines.
+
+    Regression for a dispatch bug: the restart-scan dispatch loop used to
+    re-enqueue a blocked stage under a *fresh* queue sequence number, so an
+    equal-deadline peer that arrived later leapfrogged it after any settle
+    that ran while the level was blocked.
+    """
+
+    @pytest.mark.parametrize("accounting", ["fast", "scan"])
+    def test_blocked_settle_preserves_fifo_among_equal_deadlines(
+        self, accounting
+    ):
+        context = SimContext(
+            0,
+            34.0,
+            high_streams=1,
+            low_streams=1,
+            allow_stream_borrowing=False,
+            accounting=accounting,
+        )
+        blocker = make_kernel("blocker", priority=PriorityLevel.HIGH)
+        context.enqueue(blocker)
+        assert context.dispatch_ready() == [blocker]
+        first = make_kernel("first", deadline=5.0, priority=PriorityLevel.HIGH)
+        second = make_kernel("second", deadline=5.0, priority=PriorityLevel.HIGH)
+        context.enqueue(first)
+        context.enqueue(second)
+        # A settle while the HIGH stream is busy: nothing can dispatch, and
+        # the blocked stages' queue positions must be left untouched.
+        assert context.dispatch_ready() == []
+        context.remove(blocker)
+        # The earlier arrival must win the freed stream.
+        assert context.dispatch_ready() == [first]
+        context.remove(first)
+        assert context.dispatch_ready() == [second]
+
+
+class TestStrictBlockageDispatch:
+    """borrowing=False with every level queued and no preferred slot free."""
+
+    @pytest.mark.parametrize("accounting", ["fast", "scan"])
+    def test_full_blockage_no_livelock_no_inversion(self, accounting):
+        context = SimContext(
+            0,
+            34.0,
+            high_streams=1,
+            low_streams=1,
+            allow_stream_borrowing=False,
+            accounting=accounting,
+        )
+        high_blocker = make_kernel("hb", priority=PriorityLevel.HIGH)
+        low_blocker = make_kernel("lb", priority=PriorityLevel.LOW)
+        context.enqueue(high_blocker)
+        context.enqueue(low_blocker)
+        assert len(context.dispatch_ready()) == 2
+
+        doomed = make_kernel("doomed", deadline=0.1, priority=PriorityLevel.HIGH)
+        h1 = make_kernel("h1", deadline=1.0, priority=PriorityLevel.HIGH)
+        h2 = make_kernel("h2", deadline=2.0, priority=PriorityLevel.HIGH)
+        m1 = make_kernel("m1", deadline=3.0, priority=PriorityLevel.MEDIUM)
+        l1 = make_kernel("l1", deadline=0.5, priority=PriorityLevel.LOW)
+        for kernel in (doomed, h1, h2, m1, l1):
+            context.enqueue(kernel)
+        context.remove(doomed)  # tombstoned while queued
+
+        # Fully blocked: dispatch must return (no livelock) with nothing
+        # moved and the queue accounting intact.
+        assert context.dispatch_ready() == []
+        assert context.queued_count() == 4
+        assert context.queued_count(PriorityLevel.HIGH) == 2
+
+        # Free the low-class stream: MEDIUM outranks LOW for it, despite
+        # l1's earlier deadline, and the tombstone never dispatches.
+        context.remove(low_blocker)
+        assert context.dispatch_ready() == [m1]
+        context.remove(m1)
+        assert context.dispatch_ready() == [l1]
+
+        # Free the high-class stream: EDF order within the HIGH level.
+        context.remove(high_blocker)
+        assert context.dispatch_ready() == [h1]
+        context.remove(h1)
+        assert context.dispatch_ready() == [h2]
+        assert context.queue_empty()
+
+
+class TestQueueCompaction:
+    def test_heavy_shedding_compacts_tombstones(self):
+        context = SimContext(0, 34.0, high_streams=0, low_streams=1)
+        blocker = make_kernel("blocker")
+        context.enqueue(blocker)
+        context.dispatch_ready()
+        kernels = [
+            make_kernel(f"k{i}", deadline=float(i + 1)) for i in range(40)
+        ]
+        for kernel in kernels:
+            context.enqueue(kernel)
+        for kernel in kernels[:21]:
+            context.remove(kernel)
+        # 21 tombstones in a 40-entry heap crosses the majority threshold:
+        # the rebuilt heap holds exactly the 19 survivors.
+        assert context.stat_compactions == 1
+        assert len(context._queues[PriorityLevel.LOW]) == 19
+        assert context.queued_count() == 19
+        # Survivors still drain in EDF order.
+        context.remove(blocker)
+        order = []
+        while not context.queue_empty():
+            dispatched = context.dispatch_ready()
+            order.extend(dispatched)
+            for kernel in dispatched:
+                context.remove(kernel)
+        assert order == kernels[21:]
+
+    def test_small_queues_never_compact(self):
+        context = SimContext(0, 34.0, high_streams=0, low_streams=1)
+        context.enqueue(make_kernel("blocker"))
+        context.dispatch_ready()
+        kernels = [make_kernel(f"k{i}") for i in range(8)]
+        for kernel in kernels:
+            context.enqueue(kernel)
+        for kernel in kernels:
+            context.remove(kernel)
+        assert context.stat_compactions == 0
+        assert context.queued_count() == 0
+
+
+class TestAccountingModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimContext(0, 34.0, accounting="bogus")
+
+    def test_fast_and_scan_agree(self):
+        """Both modes answer every query identically on a mixed history."""
+        contexts = {
+            mode: SimContext(0, 34.0, accounting=mode)
+            for mode in ("fast", "scan")
+        }
+        histories = {}
+        for mode, context in contexts.items():
+            kernels = [
+                make_kernel("a", deadline=2.0, work=1.0),
+                make_kernel("b", deadline=1.0, work=2.0,
+                            priority=PriorityLevel.HIGH),
+                make_kernel("c", deadline=3.0, work=0.5),
+                make_kernel("d", deadline=1.5, work=1.5),
+                make_kernel("e", deadline=2.5, work=3.0),
+                make_kernel("f", deadline=0.5, work=0.25,
+                            priority=PriorityLevel.MEDIUM),
+            ]
+            for kernel in kernels:
+                context.enqueue(kernel)
+            dispatched = [k.label for k in context.dispatch_ready()]
+            context.remove(kernels[4])  # tombstone one queued stage
+            histories[mode] = {
+                "dispatched": dispatched,
+                "queued": context.queued_count(),
+                "queued_high": context.queued_count(PriorityLevel.HIGH),
+                "empty": context.queue_empty(),
+                "free": [s.stream_id for s in context.free_streams()],
+                "free_count": context.free_stream_count(),
+                "backlog": context.backlog_work(),
+                "eta": context.estimated_finish_time(1.0),
+            }
+        fast, scan = histories["fast"], histories["scan"]
+        assert fast["dispatched"] == scan["dispatched"]
+        assert fast["queued"] == scan["queued"]
+        assert fast["queued_high"] == scan["queued_high"]
+        assert fast["empty"] == scan["empty"]
+        assert fast["free"] == scan["free"]
+        assert fast["free_count"] == scan["free_count"]
+        assert fast["backlog"] == pytest.approx(scan["backlog"], abs=1e-12)
+        assert fast["eta"] == pytest.approx(scan["eta"], abs=1e-9)
+
+    def test_fast_accumulators_reset_on_drain(self):
+        context = SimContext(0, 34.0, high_streams=0, low_streams=1)
+        context.enqueue(make_kernel("blocker"))
+        context.dispatch_ready()
+        queued = [make_kernel(f"k{i}", work=0.1 * (i + 1)) for i in range(5)]
+        for kernel in queued:
+            context.enqueue(kernel)
+        for kernel in queued:
+            context.remove(kernel)
+        # Exact zeros, not accumulated float residue.
+        assert context.backlog_work() == pytest.approx(
+            context.resident_kernels()[0].work_remaining
+        )
+        assert context._queued_work == 0.0
+        assert context._queued_eta == 0.0
+
+    def test_fast_mode_skips_scans_and_rebuilds(self):
+        """The deterministic counters behind the benchmark guardrail."""
+        contexts = {
+            mode: SimContext(0, 34.0, accounting=mode)
+            for mode in ("fast", "scan")
+        }
+        for context in contexts.values():
+            for i in range(10):
+                context.enqueue(make_kernel(f"k{i}", deadline=float(i)))
+            context.dispatch_ready()
+            for _ in range(25):
+                context.queued_count()
+                context.backlog_work()
+                context.estimated_finish_time(0.0)
+                context.free_streams()
+        fast, scan = contexts["fast"], contexts["scan"]
+        assert fast.stat_scan_elems == 0
+        assert scan.stat_scan_elems > 0
+        assert fast.stat_free_builds < scan.stat_free_builds
+        assert fast.stat_requeues == 0

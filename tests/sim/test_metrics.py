@@ -326,7 +326,26 @@ class TestRejectionAccounting:
         metrics.job_rejected("a", 1)
         assert metrics.rejection_rate(2.0) == 1.0
         assert metrics.rejected_count() == 2  # warmup included in the raw count
-        assert metrics.rejection_rate(0.9) == 0.0  # empty window
+
+    def test_rejection_rate_boundary_matches_other_metrics(self):
+        """The population is ``release_time >= warmup``, same as DMR/FPS.
+
+        Edge pins: a release at exactly ``warmup`` is post-warmup and
+        counted; a release at exactly ``now`` is counted too (``now`` does
+        not bound the population — an earlier implementation filtered
+        ``release_time <= now``, which both dropped a release at exactly
+        ``now`` under float noise and disagreed with the trace-engine
+        accumulator's release-based population).
+        """
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.job_released("a", 0, 1.0, 2.0)  # release == warmup: counted
+        metrics.job_rejected("a", 0)
+        assert metrics.rejection_rate(1.0) == 1.0  # release == now: counted
+        metrics.job_released("a", 1, 3.0, 4.0)  # admitted, not rejected
+        assert metrics.rejection_rate(3.0) == 0.5
+        # now below every release: population is still release-based, not
+        # clock-based, matching TraceMetricsAccumulator.finalize().
+        assert metrics.rejection_rate(0.9) == 0.5
 
     def test_reject_unknown_job_raises(self):
         with pytest.raises(KeyError):
