@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.clock import TIME_EPS
+from repro.sim.trace_kinds import KERNEL_DONE, KERNEL_START, STAGE_RELEASE
 
 
 @dataclass(frozen=True)
@@ -45,13 +46,13 @@ def extract_spans(trace: Iterable) -> List[KernelSpan]:
     open_starts: Dict[str, Tuple[float, int, Optional[str]]] = {}
     spans: List[KernelSpan] = []
     for record in trace:
-        if record.kind == "kernel_start":
+        if record.kind == KERNEL_START:
             open_starts[record.get("kernel")] = (
                 record.time,
                 record.get("context"),
                 record.get("priority"),
             )
-        elif record.kind == "kernel_done":
+        elif record.kind == KERNEL_DONE:
             label = record.get("kernel")
             started = open_starts.pop(label, None)
             if started is not None:
@@ -104,11 +105,11 @@ def stage_latency_breakdown(
     started: Dict[str, float] = {}
     sums: Dict[int, List[float]] = {}
     for record in trace:
-        if record.kind == "stage_release":
+        if record.kind == STAGE_RELEASE:
             released[record.get("stage")] = record.time
-        elif record.kind == "kernel_start":
+        elif record.kind == KERNEL_START:
             started[record.get("kernel")] = record.time
-        elif record.kind == "kernel_done":
+        elif record.kind == KERNEL_DONE:
             label = record.get("kernel")
             if label in released and label in started:
                 index = int(label.rsplit("/s", 1)[1])

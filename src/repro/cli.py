@@ -624,6 +624,34 @@ def _worker(args: argparse.Namespace) -> None:
     )
 
 
+def _lint(args: argparse.Namespace) -> int:
+    """Run the invariant linter; exit 0 only on a clean tree."""
+    from repro.devtools.lint import (
+        ALL_RULES,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    try:
+        findings = run_lint(
+            args.paths,
+            ALL_RULES,
+            select=args.select,
+            ignore=args.ignore,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    sys.stdout.write(render(findings))
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
 def _synth(args: argparse.Namespace) -> None:
     """Synthesize one taskset and print its composition + capacity math."""
     from repro.analysis.schedulability import (
@@ -1142,6 +1170,45 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: periodic; see sweep --list-arrivals)"
         ),
     )
+    lint = commands.add_parser(
+        "lint",
+        help=(
+            "AST-based invariant linter: determinism, trace-schema and "
+            "version-discipline rules (see src/repro/devtools/README.md)"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json output is byte-identical across runs)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="only run these rule ids (comma-separated, repeatable)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="skip these rule ids (comma-separated, repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
     return parser
 
 
@@ -1162,6 +1229,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _worker(args)
     if args.figure == "synth":
         _synth(args)
+    if args.figure == "lint":
+        return _lint(args)
     return 0
 
 

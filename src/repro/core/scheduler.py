@@ -43,6 +43,14 @@ from repro.gpu.mps import ReconfigurationPolicy, ZeroConfigPool
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsCollector, StageRecord
 from repro.sim.trace import TraceRecorder
+from repro.sim.trace_kinds import (
+    JOB_COMPLETE,
+    JOB_REJECT,
+    JOB_RELEASE,
+    JOB_SHED,
+    JOB_SKIP,
+    STAGE_RELEASE,
+)
 
 
 class StageInstance:
@@ -276,7 +284,7 @@ class SchedulerBase:
             # (TraceMetricsAccumulator) can score DMR without the workload
             self.trace.record(
                 now,
-                "job_release",
+                JOB_RELEASE,
                 task=task.name,
                 job=index,
                 deadline=job.absolute_deadline,
@@ -294,11 +302,11 @@ class SchedulerBase:
             job.aborted = True
             self.metrics.job_rejected(task.name, index)
             if self.trace is not None:
-                self.trace.record(now, "job_reject", task=task.name, job=index)
+                self.trace.record(now, JOB_REJECT, task=task.name, job=index)
         else:
             job.aborted = True
             if self.trace is not None:
-                self.trace.record(now, "job_skip", task=task.name, job=index)
+                self.trace.record(now, JOB_SKIP, task=task.name, job=index)
         self._schedule_next_release(task)
 
     def _job_departed(self, job: JobInstance) -> None:
@@ -361,7 +369,7 @@ class SchedulerBase:
         if self.trace is not None:
             self.trace.record(
                 self.engine.now,
-                "stage_release",
+                STAGE_RELEASE,
                 stage=stage.label,
                 context=context.context_id,
                 priority=priority.name,
@@ -384,7 +392,7 @@ class SchedulerBase:
             self._job_departed(job)
             if self.trace is not None:
                 self.trace.record(
-                    now, "job_complete", task=job.task.name, job=job.index
+                    now, JOB_COMPLETE, task=job.task.name, job=job.index
                 )
         else:
             missed = now > stage.absolute_deadline
@@ -414,5 +422,5 @@ class SchedulerBase:
         self._job_departed(job)
         if self.trace is not None:
             self.trace.record(
-                self.engine.now, "job_shed", task=job.task.name, job=job.index
+                self.engine.now, JOB_SHED, task=job.task.name, job=job.index
             )

@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the repo (not used at runtime).
+
+Currently: :mod:`repro.devtools.lint`, the AST-based invariant linter
+behind ``python -m repro lint``.
+"""

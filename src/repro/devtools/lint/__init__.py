@@ -1,0 +1,30 @@
+"""``repro lint`` — the AST-based invariant linter.
+
+Public surface: :func:`run_lint` over :data:`ALL_RULES`, plus the text /
+JSON renderers the CLI uses.  See ``src/repro/devtools/README.md`` for
+the rules reference and suppression syntax.
+"""
+
+from repro.devtools.lint.framework import (
+    Finding,
+    LintContext,
+    LintModule,
+    PARSE_ERROR,
+    Rule,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.devtools.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "LintModule",
+    "PARSE_ERROR",
+    "Rule",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

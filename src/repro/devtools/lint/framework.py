@@ -1,0 +1,350 @@
+"""The ``repro lint`` rule framework.
+
+A lint run is deliberately boring machinery: walk the requested paths in
+sorted order, parse every ``*.py`` with the stdlib :mod:`ast`, hand each
+module to every selected :class:`Rule`, collect :class:`Finding`\\ s,
+drop the ones a pragma suppresses, and emit them in one deterministic
+order.  Rules live in :mod:`repro.devtools.lint.rules`; this module
+knows nothing about what any rule checks.
+
+Determinism is part of the contract (the linter polices determinism, so
+it had better practise it): file discovery is sorted, findings are
+sorted by ``(path, line, col, rule, message)``, the JSON renderer uses
+sorted keys, and nothing here reads a clock, the environment, or hash
+order.  Two runs over the same tree emit byte-identical output.
+
+Suppression
+-----------
+A finding is suppressed by a pragma comment **on the finding's line or
+the line directly above it**::
+
+    cache[id(curve)] = share  # repro: lint-ok[D003] curve is pinned by a strong ref
+
+    # repro: lint-ok[D004] order handled by the caller
+    for path in root.iterdir():
+        ...
+
+Several rules can share one pragma (``lint-ok[D001,D002]``).  Pragmas
+are meant to carry a one-line justification after the bracket; the
+linter does not parse it, reviewers do.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Pragma syntax: ``# repro: lint-ok[D003]`` or ``# repro: lint-ok[D001,D002]``,
+#: optionally followed by free-text justification.
+PRAGMA_RE = re.compile(r"#\s*repro:\s*lint-ok\[([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\]")
+
+#: Rule id of the built-in parse-failure finding (not suppressible — a
+#: file the linter cannot read is a file no rule vouched for).
+PARSE_ERROR = "E001"
+
+#: Output format version for ``--format json``.
+JSON_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, anchored to a file position.
+
+    ``finding_id`` is stable across runs for an unchanged tree: it is a
+    pure function of the rule and the position, with no run state in it.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    @property
+    def finding_id(self) -> str:
+        return f"{self.rule}:{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.finding_id,
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class LintModule:
+    """One parsed source file plus the lookup structure rules need.
+
+    Parents are linked (``LintModule.parent``) so rules can climb from
+    an interesting node to whatever consumes it, and pragma lines are
+    pre-extracted with :mod:`tokenize` so suppression never depends on
+    fragile string matching inside literals.
+    """
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        #: The path findings report: the CLI argument joined with the
+        #: file's position under it, posix separators.  Stable across
+        #: runs and machines for the same invocation.
+        self.display_path = display_path
+        self.source = source
+        #: The directory the lint run discovered this file under; rules
+        #: that need run-scope context (the trace-kind registry) key on
+        #: it.  Set by :func:`run_lint` after construction.
+        self.lint_root: Optional[Path] = None
+        self.tree = ast.parse(source)
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._lint_parent = node  # type: ignore[attr-defined]
+        #: line -> set of rule ids a pragma on that line waives.
+        self.pragmas: Dict[int, Set[str]] = _collect_pragmas(source)
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    @staticmethod
+    def parent(node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, "_lint_parent", None)
+
+    def ancestry(self, node: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
+        """Yield ``(ancestor, came_from)`` pairs walking toward the root."""
+        child = node
+        parent = self.parent(node)
+        while parent is not None:
+            yield parent, child
+            child = parent
+            parent = self.parent(parent)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether a pragma on ``line`` or the line above waives ``rule_id``."""
+        for pragma_line in (line, line - 1):
+            if rule_id in self.pragmas.get(pragma_line, ()):
+                return True
+        return False
+
+
+def _collect_pragmas(source: str) -> Dict[int, Set[str]]:
+    pragmas: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")}
+            pragmas.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:  # unterminated something; ast.parse will say
+        pass
+    return pragmas
+
+
+class LintContext:
+    """Run-wide state shared by every rule invocation.
+
+    Currently: the trace-kind registry of each linted root, parsed (not
+    imported — the linter checks the tree in front of it, which need not
+    be the installed package) from ``**/sim/trace_kinds.py`` on first
+    use.
+    """
+
+    def __init__(self) -> None:
+        self._kind_cache: Dict[Path, Optional[Dict[str, str]]] = {}
+
+    def trace_kind_registry(self, root: Path) -> Optional[Dict[str, str]]:
+        """``{kind_literal: CONSTANT_NAME}`` for the registry under ``root``.
+
+        ``None`` when the root holds no ``sim/trace_kinds.py`` (fixture
+        trees without a registry simply skip the schema rule).
+        """
+        root = root.resolve()
+        if root not in self._kind_cache:
+            self._kind_cache[root] = self._load_registry(root)
+        return self._kind_cache[root]
+
+    @staticmethod
+    def _load_registry(root: Path) -> Optional[Dict[str, str]]:
+        if not root.is_dir():
+            return None
+        candidates = sorted(
+            path
+            for path in root.rglob("trace_kinds.py")
+            if path.parent.name == "sim" and "__pycache__" not in path.parts
+        )
+        if not candidates:
+            return None
+        tree = ast.parse(candidates[0].read_text())
+        registry: Dict[str, str] = {}
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.isupper()
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                registry[node.value.value] = node.targets[0].id
+        return registry or None
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(line, col, message)`` triples; the runner anchors them to
+    the module, applies pragma suppression and builds :class:`Finding`
+    objects.  Rules must be stateless across modules (any cross-module
+    state belongs on the :class:`LintContext`).
+    """
+
+    #: Stable identifier, e.g. ``"D004"``.
+    rule_id: str = ""
+    #: ``"error"`` findings fail the run; ``"warning"`` ones are
+    #: reported but do not affect the exit code.
+    severity: str = "error"
+    #: One-line description for ``--list-rules`` and the docs.
+    summary: str = ""
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        raise NotImplementedError
+
+    @staticmethod
+    def at(node: ast.AST, message: str) -> Tuple[int, int, str]:
+        """Anchor a message at a node's position."""
+        return (node.lineno, node.col_offset, message)
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(
+        path
+        for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+
+
+def _parse_rule_list(value: Optional[Iterable[str]]) -> Optional[Set[str]]:
+    if value is None:
+        return None
+    rules: Set[str] = set()
+    for part in value:
+        rules.update(p.strip() for p in part.split(",") if p.strip())
+    return rules or None
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint ``paths`` with ``rules`` and return sorted findings.
+
+    ``select``/``ignore`` filter by rule id (comma-separated strings or
+    iterables thereof); unknown ids raise so a typo in CI cannot
+    silently disable a gate.
+    """
+    selected = _parse_rule_list(select)
+    ignored = _parse_rule_list(ignore)
+    known = {rule.rule_id for rule in rules}
+    for wanted in (selected or set()) | (ignored or set()):
+        if wanted not in known:
+            raise ValueError(
+                f"unknown rule id {wanted!r} (known: {', '.join(sorted(known))})"
+            )
+    active = [
+        rule
+        for rule in rules
+        if (selected is None or rule.rule_id in selected)
+        and (ignored is None or rule.rule_id not in ignored)
+    ]
+    context = LintContext()
+    findings: List[Finding] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for path in iter_python_files(root):
+            if root.is_file():
+                display = root.as_posix()
+            else:
+                display = (Path(raw) / path.relative_to(root)).as_posix()
+            source = path.read_text()
+            try:
+                module = LintModule(path, display, source)
+            except SyntaxError as error:
+                findings.append(
+                    Finding(
+                        rule=PARSE_ERROR,
+                        path=display,
+                        line=error.lineno or 1,
+                        col=(error.offset or 1) - 1,
+                        message=f"syntax error: {error.msg}",
+                    )
+                )
+                continue
+            module.lint_root = root if root.is_dir() else root.parent
+            for rule in active:
+                for line, col, message in rule.check(module, context):
+                    if module.is_suppressed(rule.rule_id, line):
+                        continue
+                    findings.append(
+                        Finding(
+                            rule=rule.rule_id,
+                            path=display,
+                            line=line,
+                            col=col,
+                            message=message,
+                            severity=rule.severity,
+                        )
+                    )
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one finding per line plus a tally."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} [{f.severity}] {f.message}"
+        for f in findings
+    ]
+    errors = sum(1 for f in findings if f.severity == "error")
+    if findings:
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({errors} error{'s' if errors != 1 else ''})"
+        )
+    else:
+        lines.append("clean: no lint findings")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report; byte-identical across identical runs."""
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"

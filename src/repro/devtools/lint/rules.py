@@ -1,0 +1,651 @@
+"""The repo-specific lint rules ``python -m repro lint`` enforces.
+
+Every rule here encodes an invariant a past PR was broken by (or nearly
+broken by) and the test suite can only spot-check:
+
+=====  ==============================================================
+D001   unseeded randomness: module-level ``random.*`` calls and bare
+       ``random.Random()`` — every stochastic path must draw from an
+       explicitly seeded ``random.Random`` instance.
+D002   wall-clock reads in simulation paths: ``time.time`` /
+       ``datetime.now`` and friends outside the daemon / dist /
+       profiling allowlist.  Simulated time comes from the engine.
+D003   ``id()`` used as a mapping/cache key: ids are recycled after
+       garbage collection, so equal-valued objects alias (the PR-2
+       calibration-cache bug class).
+D004   unsorted filesystem enumeration: ``glob`` / ``iterdir`` /
+       ``listdir`` / ``scandir`` results consumed without ``sorted``
+       — directory order is filesystem-dependent.
+D005   iteration over a ``set`` literal / comprehension /
+       constructor: set order depends on hash seeding, so any
+       order-sensitive accumulation over it is nondeterministic.
+S001   bare trace-kind string literal in ``sim/`` / ``core/`` /
+       ``gpu/``: kinds come from :mod:`repro.sim.trace_kinds`, so a
+       typo cannot silently fork an event stream.
+S002   version-constant discipline: a writer-side ``*_VERSION = N``
+       with ``N >= 2`` must have a reader accept-set naming every
+       version ``1..N`` (``_READABLE_*_VERSIONS``-style).
+T001   every ``benchmarks/test_*.py`` module must reference
+       ``pytest.mark.slow`` — the tier contract that keeps the fast
+       suite under two minutes.
+=====  ==============================================================
+
+Suppression is per line via ``# repro: lint-ok[RULE-ID] reason`` (see
+:mod:`repro.devtools.lint.framework`).  There is deliberately no
+baseline file: the tree lints clean or a pragma says why not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.lint.framework import LintContext, LintModule, Rule
+
+
+def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; ``None`` for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def module_imports(module: LintModule) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """(alias -> imported module, alias -> ``module.name`` for from-imports)."""
+    modules: Dict[str, str] = {}
+    names: Dict[str, str] = {}
+    for node in module.walk():
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return modules, names
+
+
+def path_has_dir(module: LintModule, *dirnames: str) -> bool:
+    """Whether the file lives under a directory with one of these names."""
+    parts = module.path.resolve().parts[:-1]
+    return any(name in parts for name in dirnames)
+
+
+def path_endswith(module: LintModule, suffixes: Sequence[str]) -> bool:
+    posix = module.path.resolve().as_posix()
+    return any(posix.endswith(suffix) for suffix in suffixes)
+
+
+# ----------------------------------------------------------------------
+# Determinism rules
+# ----------------------------------------------------------------------
+class UnseededRandomRule(Rule):
+    """D001 — stochastic code must draw from a seeded ``random.Random``.
+
+    Module-level ``random.*`` functions share one process-global
+    generator: any import-order or call-order change reshuffles every
+    stream at once, and parallel sweep workers silently diverge from the
+    serial run.  ``random.Random()`` with no arguments seeds from the OS
+    and is just as bad.
+    """
+
+    rule_id = "D001"
+    summary = "unseeded randomness (module-level random.* / bare random.Random())"
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        modules, names = module_imports(module)
+        random_aliases = {a for a, m in modules.items() if m == "random"}
+        from_random = {
+            alias: target.rsplit(".", 1)[1]
+            for alias, target in names.items()
+            if target.startswith("random.")
+        }
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None:
+                continue
+            func: Optional[str] = None
+            if len(chain) == 2 and chain[0] in random_aliases:
+                func = chain[1]
+            elif len(chain) == 1 and chain[0] in from_random:
+                func = from_random[chain[0]]
+            if func is None:
+                continue
+            if func == "Random":
+                if not node.args and not node.keywords:
+                    yield self.at(
+                        node,
+                        "random.Random() without a seed draws from the OS; "
+                        "pass an explicit seed",
+                    )
+            elif func == "SystemRandom":
+                yield self.at(
+                    node,
+                    "random.SystemRandom() is OS entropy and can never be "
+                    "seeded; use random.Random(seed)",
+                )
+            elif func[:1].islower():
+                yield self.at(
+                    node,
+                    f"module-level random.{func}() uses the shared global "
+                    "generator; use an explicitly seeded random.Random "
+                    "instance",
+                )
+
+
+class WallClockRule(Rule):
+    """D002 — simulation paths must not read the wall clock.
+
+    Simulated time comes from ``engine.now``; a wall-clock read in a
+    sim-side module makes results hardware- and load-dependent.  The
+    harness edges that legitimately deal in real time (daemon polling,
+    claim heartbeats, elapsed-time provenance, measurement/profiling)
+    are allowlisted by path.
+    """
+
+    rule_id = "D002"
+    summary = "wall-clock read outside the daemon/dist/profiling allowlist"
+
+    #: Path suffixes allowed to touch real time: the daemon fleet and
+    #: claim protocol (heartbeats, polling), the sweep drivers' elapsed
+    #: provenance, and the measurement/profiling layers.  Benchmark
+    #: modules time things by definition.
+    ALLOWLIST = (
+        "repro/exp/daemon.py",
+        "repro/exp/dist.py",
+        "repro/exp/backend.py",
+        "repro/exp/worker.py",
+        "repro/exp/runner.py",
+        "repro/core/profiling.py",
+        "repro/speedup/measure.py",
+    )
+    ALLOWED_DIRS = ("benchmarks",)
+
+    TIME_FUNCS = frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+            "process_time_ns",
+            "sleep",
+        }
+    )
+    DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        if path_endswith(module, self.ALLOWLIST):
+            return
+        if path_has_dir(module, *self.ALLOWED_DIRS):
+            return
+        modules, names = module_imports(module)
+        time_aliases = {a for a, m in modules.items() if m == "time"}
+        datetime_aliases = {a for a, m in modules.items() if m == "datetime"}
+        from_time = {
+            alias
+            for alias, target in names.items()
+            if target.startswith("time.")
+            and target.rsplit(".", 1)[1] in self.TIME_FUNCS
+        }
+        datetime_classes = {
+            alias
+            for alias, target in names.items()
+            if target in ("datetime.datetime", "datetime.date")
+        }
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None:
+                continue
+            hit: Optional[str] = None
+            if (
+                len(chain) == 2
+                and chain[0] in time_aliases
+                and chain[1] in self.TIME_FUNCS
+            ):
+                hit = f"time.{chain[1]}"
+            elif len(chain) == 1 and chain[0] in from_time:
+                hit = f"time.{chain[0]}"
+            elif (
+                len(chain) == 2
+                and chain[0] in datetime_classes
+                and chain[1] in self.DATETIME_FUNCS
+            ):
+                hit = f"datetime.{chain[1]}"
+            elif (
+                len(chain) == 3
+                and chain[0] in datetime_aliases
+                and chain[1] in ("datetime", "date")
+                and chain[2] in self.DATETIME_FUNCS
+            ):
+                hit = f"{chain[1]}.{chain[2]}"
+            if hit is not None:
+                yield self.at(
+                    node,
+                    f"{hit}() reads the wall clock in a simulation path; "
+                    "simulated time comes from the engine (allowlisted "
+                    "modules: daemon/dist/worker/runner/profiling/measure)",
+                )
+
+
+class IdAsKeyRule(Rule):
+    """D003 — ``id()`` must not key a cache or mapping.
+
+    CPython recycles ids after garbage collection, so an ``id()``-keyed
+    cache can serve one object's entry for a different, later object at
+    the same address — the exact bug PR 2 fixed in the calibration
+    caches.  Value-based fingerprints (or keeping a strong reference and
+    saying so in a pragma) are the sanctioned patterns.
+    """
+
+    rule_id = "D003"
+    summary = "id() used as a mapping/cache key"
+
+    #: Mapping methods whose first argument is a key.
+    KEYED_METHODS = frozenset({"get", "setdefault", "pop"})
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        for node in module.walk():
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+            ):
+                continue
+            reason = self._key_position(module, node)
+            if reason is not None:
+                yield self.at(
+                    node,
+                    f"id() {reason}; ids are recycled after garbage "
+                    "collection, so equal-valued objects can alias — key "
+                    "on a value fingerprint instead",
+                )
+
+    def _key_position(
+        self, module: LintModule, node: ast.Call
+    ) -> Optional[str]:
+        for ancestor, came_from in module.ancestry(node):
+            if isinstance(ancestor, ast.Subscript) and came_from is ancestor.slice:
+                return "used as a subscript key"
+            if (
+                isinstance(ancestor, ast.Call)
+                and isinstance(ancestor.func, ast.Attribute)
+                and ancestor.func.attr in self.KEYED_METHODS
+                and ancestor.args
+                and came_from is ancestor.args[0]
+            ):
+                return f"used as the key of .{ancestor.func.attr}()"
+            if isinstance(ancestor, ast.Dict) and came_from in ancestor.keys:
+                return "used as a dict-literal key"
+            if isinstance(ancestor, ast.Assign):
+                for target in ancestor.targets:
+                    if isinstance(target, ast.Name) and "key" in target.id.lower():
+                        return f"assigned to key-like name {target.id!r}"
+            if isinstance(ancestor, (ast.stmt,)):
+                return None
+        return None
+
+
+class UnsortedFsEnumRule(Rule):
+    """D004 — filesystem enumeration order must be pinned.
+
+    ``glob``/``iterdir``/``listdir``/``scandir`` return entries in
+    filesystem order, which differs between machines and even between
+    runs; any consumer that cares about order (worker drain order, merge
+    inputs, golden comparisons) must wrap the result in ``sorted``.
+    Order-insensitive consumers (``set``, ``len``, ``max``, ...) pass.
+    """
+
+    rule_id = "D004"
+    summary = "glob/iterdir/listdir/scandir consumed without sorted(...)"
+
+    FS_METHODS = frozenset({"glob", "rglob", "iterdir"})
+    FS_MODULE_FUNCS = {
+        "os": frozenset({"listdir", "scandir"}),
+        "glob": frozenset({"glob", "iglob"}),
+    }
+    ORDER_SAFE = frozenset(
+        {"sorted", "set", "frozenset", "len", "max", "min", "any", "all"}
+    )
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        modules, names = module_imports(module)
+        flat_funcs = {
+            alias: target
+            for alias, target in names.items()
+            if any(
+                target == f"{mod}.{func}"
+                for mod, funcs in self.FS_MODULE_FUNCS.items()
+                for func in funcs
+            )
+        }
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._enumeration(node, modules, flat_funcs)
+            if label is None:
+                continue
+            if self._reaches_order_safe_consumer(module, node):
+                continue
+            yield self.at(
+                node,
+                f"{label} returns entries in filesystem order; wrap the "
+                "result in sorted(...) (or consume it order-insensitively)",
+            )
+
+    def _enumeration(
+        self,
+        node: ast.Call,
+        modules: Dict[str, str],
+        flat_funcs: Dict[str, str],
+    ) -> Optional[str]:
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            base = dotted_name(node.func.value)
+            if (
+                base is not None
+                and len(base) == 1
+                and modules.get(base[0]) in self.FS_MODULE_FUNCS
+            ):
+                if attr in self.FS_MODULE_FUNCS[modules[base[0]]]:
+                    return f"{modules[base[0]]}.{attr}()"
+                return None
+            if attr in self.FS_METHODS:
+                return f".{attr}()"
+            return None
+        if isinstance(node.func, ast.Name) and node.func.id in flat_funcs:
+            return f"{flat_funcs[node.func.id]}()"
+        return None
+
+    def _reaches_order_safe_consumer(
+        self, module: LintModule, node: ast.Call
+    ) -> bool:
+        for ancestor, _ in module.ancestry(node):
+            if (
+                isinstance(ancestor, ast.Call)
+                and isinstance(ancestor.func, ast.Name)
+                and ancestor.func.id in self.ORDER_SAFE
+            ):
+                return True
+            if isinstance(ancestor, ast.stmt):
+                return False
+        return False
+
+
+class SetIterationRule(Rule):
+    """D005 — don't iterate sets where order can matter.
+
+    Set iteration order depends on insertion history and (for strings)
+    on per-process hash seeding, so a float accumulation driven by a set
+    is nondeterministic across runs.  Iterate lists, tuples or dicts
+    (insertion-ordered), or sort the set first.
+    """
+
+    rule_id = "D005"
+    summary = "iteration over a set literal/comprehension/constructor"
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        for node in module.walk():
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                label = self._set_expression(it)
+                if label is not None:
+                    yield self.at(
+                        it,
+                        f"iterating a {label} feeds an order-sensitive "
+                        "consumer in hash order; iterate a list/dict or "
+                        "sorted(...) instead",
+                    )
+
+    @staticmethod
+    def _set_expression(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        ):
+            return f"{node.func.id}() constructor"
+        return None
+
+
+# ----------------------------------------------------------------------
+# Schema rules
+# ----------------------------------------------------------------------
+class TraceKindLiteralRule(Rule):
+    """S001 — trace kinds are named once, in ``sim/trace_kinds.py``.
+
+    A bare kind literal at an emit or consume site is one typo away from
+    silently forking an event stream (a mis-spelled kind records fine
+    and simply never matches its consumer).  Inside ``sim/``, ``core/``
+    and ``gpu/`` every registered kind string must come from the
+    registry constants.
+    """
+
+    rule_id = "S001"
+    summary = "bare trace-kind literal; use repro.sim.trace_kinds constants"
+
+    SCOPED_DIRS = ("sim", "core", "gpu")
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        if not path_has_dir(module, *self.SCOPED_DIRS):
+            return
+        if module.path.name == "trace_kinds.py":
+            return
+        if module.lint_root is None:
+            return
+        registry = context.trace_kind_registry(module.lint_root)
+        if registry is None:
+            return
+        for node in module.walk():
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in registry
+            ):
+                constant = registry[node.value]
+                yield self.at(
+                    node,
+                    f"bare trace-kind literal {node.value!r}; import "
+                    f"repro.sim.trace_kinds.{constant} so typos cannot "
+                    "fork the event stream",
+                )
+
+
+class VersionDisciplineRule(Rule):
+    """S002 — every on-disk format version needs a compatible reader.
+
+    A writer-side ``*_VERSION = N`` constant with ``N >= 2`` means
+    version-1 artifacts exist in the wild; the same module must carry an
+    accept-set (a ``*VERSIONS*`` tuple/set/list of int literals or
+    version-constant names) covering every version ``1..N``, or old runs
+    stop being readable the moment the constant is bumped.
+    """
+
+    rule_id = "S002"
+    summary = "writer version constant without a covering reader accept-set"
+
+    STOPWORDS = frozenset(
+        {"READABLE", "ACCEPTED", "ACCEPT", "SUPPORTED", "VERSIONS", "VERSION", "FORMAT", ""}
+    )
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        int_constants: Dict[str, int] = {}
+        writers: List[Tuple[str, int, ast.AST]] = []
+        accept_sets: List[Tuple[str, ast.AST]] = []
+        for node in module.tree.body:
+            target = self._single_upper_target(node)
+            if target is None:
+                continue
+            name, value = target
+            if isinstance(value, ast.Constant) and isinstance(value.value, int):
+                int_constants[name] = value.value
+                if name.endswith("_VERSION"):
+                    writers.append((name, value.value, node))
+            elif "VERSIONS" in name and isinstance(
+                value, (ast.Tuple, ast.Set, ast.List)
+            ):
+                accept_sets.append((name, value))
+        for name, version, node in writers:
+            if version < 2:
+                continue  # no prior versions to accept
+            match = self._matching_accept_set(name, accept_sets)
+            if match is None:
+                yield self.at(
+                    node,
+                    f"{name} = {version} has no reader accept-set; add a "
+                    f"*VERSIONS* tuple naming every readable version 1..{version}",
+                )
+                continue
+            accept_name, accept_value = match
+            accepted = self._resolve(accept_value, int_constants)
+            if accepted is None:
+                yield self.at(
+                    accept_value,
+                    f"{accept_name} holds elements the linter cannot resolve "
+                    "to ints; use int literals or module-level version "
+                    "constants",
+                )
+                continue
+            missing = sorted(set(range(1, version + 1)) - accepted)
+            if missing:
+                yield self.at(
+                    accept_value,
+                    f"{accept_name} does not accept version"
+                    f"{'s' if len(missing) != 1 else ''} "
+                    f"{', '.join(map(str, missing))} (writer {name} = "
+                    f"{version}; readers must keep accepting prior versions)",
+                )
+
+    @staticmethod
+    def _single_upper_target(node: ast.stmt) -> Optional[Tuple[str, ast.expr]]:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id.isupper()
+        ):
+            return node.targets[0].id, node.value
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id.isupper()
+            and node.value is not None
+        ):
+            return node.target.id, node.value
+        return None
+
+    def _tokens(self, name: str) -> Set[str]:
+        return {part for part in name.strip("_").split("_")} - self.STOPWORDS
+
+    def _matching_accept_set(
+        self, writer_name: str, accept_sets: List[Tuple[str, ast.AST]]
+    ) -> Optional[Tuple[str, ast.AST]]:
+        writer_tokens = self._tokens(writer_name)
+        for accept_name, value in accept_sets:
+            if self._tokens(accept_name) == writer_tokens:
+                return accept_name, value
+        return None
+
+    @staticmethod
+    def _resolve(
+        node: ast.AST, int_constants: Dict[str, int]
+    ) -> Optional[Set[int]]:
+        accepted: Set[int] = set()
+        for element in node.elts:  # type: ignore[attr-defined]
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, int
+            ):
+                accepted.add(element.value)
+            elif isinstance(element, ast.Name) and element.id in int_constants:
+                accepted.add(int_constants[element.id])
+            else:
+                return None
+        return accepted
+
+
+# ----------------------------------------------------------------------
+# Tiering rule
+# ----------------------------------------------------------------------
+class BenchmarkSlowMarkerRule(Rule):
+    """T001 — benchmark test modules must opt into the slow tier.
+
+    The fast tier's sub-two-minute contract (ROADMAP, PR 1) holds only
+    because everything under ``benchmarks/`` is marked ``slow`` — either
+    module-wide (``pytestmark = pytest.mark.slow``) or per-test (fast
+    golden smokes ride alongside marked benchmarks).  A benchmark module
+    with no slow marker at all silently lands in the fast tier.
+    """
+
+    rule_id = "T001"
+    summary = "benchmarks/test_* module without a pytest.mark.slow marker"
+
+    def check(
+        self, module: LintModule, context: LintContext
+    ) -> Iterator[Tuple[int, int, str]]:
+        name = module.path.name
+        if not (
+            path_has_dir(module, "benchmarks")
+            and name.startswith("test_")
+            and name.endswith(".py")
+        ):
+            return
+        for node in module.walk():
+            chain = dotted_name(node) if isinstance(node, ast.Attribute) else None
+            if chain is not None and chain[-2:] == ("mark", "slow"):
+                return
+        yield (
+            1,
+            0,
+            "benchmark test module never references pytest.mark.slow; mark "
+            "the module (pytestmark) or its slow tests so the fast tier "
+            "stays under two minutes",
+        )
+
+
+#: Every rule, in id order.  ``run_lint`` takes this unless a caller
+#: narrows it.
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    IdAsKeyRule(),
+    UnsortedFsEnumRule(),
+    SetIterationRule(),
+    TraceKindLiteralRule(),
+    VersionDisciplineRule(),
+    BenchmarkSlowMarkerRule(),
+)

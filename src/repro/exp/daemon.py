@@ -155,11 +155,12 @@ def discover_runs(runs_root: Union[str, Path, StorageBackend]) -> List[str]:
     """Run ids (child names holding a ``manifest.json``) under a root."""
     backend = as_backend(runs_root)
     if isinstance(backend, LocalFSBackend):
-        # don't walk every cache checkpoint of every run per poll cycle
-        return sorted(
-            path.parent.name
-            for path in backend.root.glob(f"*/{MANIFEST_NAME}")
-        )
+        # Don't walk every cache checkpoint of every run per poll cycle.
+        # The glob MUST be sorted: directory-entry order is
+        # filesystem-dependent, and the fleet's drain order (which run a
+        # worker claims first) follows this list (lint rule D004).
+        manifests = sorted(backend.root.glob(f"*/{MANIFEST_NAME}"))
+        return [path.parent.name for path in manifests]
     runs = set()
     for key in backend.list_prefix(""):
         head, _, tail = key.partition("/")

@@ -39,6 +39,13 @@ from repro.workloads.generator import DEFAULT_NUM_STAGES, DEFAULT_PERIOD
 #: v3: open-system axes (arrival / admission) joined the point identity.
 SCHEMA_VERSION = 3
 
+#: Payload schema versions :meth:`GridPoint.from_dict` accepts.  Older
+#: versions simply lack the axes later ones added (the dataclass
+#: defaults reconstruct them), so every prior version stays readable —
+#: the S002 version-discipline rule of ``python -m repro lint`` checks
+#: this set covers ``1..SCHEMA_VERSION``.
+_READABLE_SCHEMA_VERSIONS = (1, 2, SCHEMA_VERSION)
+
 #: A resolver maps a requested stage count to
 #: (scheduler class, over-subscription level, stages per task).
 VariantResolver = Callable[[int], Tuple[Type[SchedulerBase], float, int]]
@@ -245,7 +252,21 @@ class GridPoint:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "GridPoint":
-        """Inverse of :meth:`config_dict` (ignores the schema version)."""
+        """Inverse of :meth:`config_dict`.
+
+        Accepts every schema version in ``_READABLE_SCHEMA_VERSIONS``
+        (older payloads lack the axes later versions added; the
+        dataclass defaults fill them) and payloads with no version at
+        all (pre-v1 history).  An unknown *newer* version raises: the
+        payload may carry axes this build cannot represent, and
+        guessing would silently mis-key caches.
+        """
+        version = payload.get("schema_version")
+        if version is not None and version not in _READABLE_SCHEMA_VERSIONS:
+            raise ValueError(
+                f"unsupported GridPoint schema version {version!r} "
+                f"(readable: {_READABLE_SCHEMA_VERSIONS})"
+            )
         fields = {k: v for k, v in payload.items() if k != "schema_version"}
         return cls(**fields)
 

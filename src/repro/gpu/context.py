@@ -200,6 +200,7 @@ class SimContext:
 
     def _nominal_speedup(self, kernel: StageKernel) -> float:
         """``kernel.curve.speedup(nominal_sms)`` memoised per curve object."""
+        # repro: lint-ok[D003] the memo stores (curve, value) — the strong ref pins the id for the cache's lifetime
         key = id(kernel.curve)
         hit = self._speedup_cache.get(key)
         if hit is None:

@@ -59,6 +59,7 @@ from repro.gpu.spec import GpuDeviceSpec
 from repro.sim.clock import TIME_EPS
 from repro.sim.engine import Event, SimulationEngine
 from repro.sim.trace import TraceRecorder
+from repro.sim.trace_kinds import ALLOCATION, KERNEL_DONE, KERNEL_START
 
 CompletionCallback = Callable[[StageKernel], None]
 
@@ -251,7 +252,7 @@ class GpuDevice:
                         kernel.dispatched_at = self.engine.now
                         self.trace.record(
                             self.engine.now,
-                            "kernel_start",
+                            KERNEL_START,
                             kernel=kernel.label,
                             context=context.context_id,
                             priority=kernel.priority.name,
@@ -444,7 +445,7 @@ class GpuDevice:
         if self.trace is not None:
             self.trace.record(
                 self.engine.now,
-                "allocation",
+                ALLOCATION,
                 pressure=round(result.pressure, 4),
                 aggregate_rate=round(result.aggregate_rate, 3),
                 resident=len(result.rates),
@@ -477,7 +478,7 @@ class GpuDevice:
         if self.trace is not None:
             self.trace.record(
                 self.engine.now,
-                "kernel_done",
+                KERNEL_DONE,
                 kernel=kernel.label,
                 context=context.context_id,
             )

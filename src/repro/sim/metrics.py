@@ -33,6 +33,14 @@ from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.sim.trace_kinds import (
+    JOB_COMPLETE,
+    JOB_REJECT,
+    JOB_RELEASE,
+    JOB_SHED,
+    JOB_SKIP,
+)
+
 
 def nearest_rank(sorted_values: List[float], fraction: float) -> Optional[float]:
     """Ceil-based nearest-rank percentile of a pre-sorted sample.
@@ -484,7 +492,7 @@ class TraceMetricsAccumulator:
     def feed(self, record) -> None:
         """Consume one trace record (records must arrive in time order)."""
         kind = record.kind
-        if kind == "job_release":
+        if kind == JOB_RELEASE:
             self._resolve_pending()
             key = (record.get("task"), record.get("job"))
             deadline = record.get("deadline")
@@ -498,12 +506,12 @@ class TraceMetricsAccumulator:
                 self._released_post += 1
             self._pending = (key, record.time, deadline)
             return
-        if kind in ("job_skip", "job_reject"):
+        if kind in (JOB_SKIP, JOB_REJECT):
             key = (record.get("task"), record.get("job"))
             if self._pending is not None and self._pending[0] == key:
                 _, release, deadline = self._pending
                 self._pending = None
-                if kind == "job_reject":
+                if kind == JOB_REJECT:
                     # rejections feed the rejection rate, never DMR
                     self._rejected_total += 1
                     if release >= self.warmup:
@@ -513,7 +521,7 @@ class TraceMetricsAccumulator:
                     self._unfinished_deadlines.append(deadline)
                 return
         self._resolve_pending()
-        if kind == "job_complete":
+        if kind == JOB_COMPLETE:
             key = (record.get("task"), record.get("job"))
             entry = self._open.pop(key, None)
             self._completed_total += 1
@@ -525,7 +533,7 @@ class TraceMetricsAccumulator:
                 self._completed_missed.append(
                     1 if record.time > deadline else 0
                 )
-        elif kind == "job_shed":
+        elif kind == JOB_SHED:
             key = (record.get("task"), record.get("job"))
             entry = self._open.pop(key, None)
             self._step_depth(record.time, self._depth - 1)

@@ -1,0 +1,572 @@
+"""Per-rule fixture tests for ``repro lint`` (:mod:`repro.devtools.lint`).
+
+Each rule gets three snippets: one that must fire (positive), one that
+must not (negative), and the positive one again carrying a
+``# repro: lint-ok[RULE]`` pragma (suppressed).  Framework behaviour —
+pragma grammar, select/ignore filtering, ordering, parse errors, stable
+ids — is pinned at the end.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import (
+    ALL_RULES,
+    PARSE_ERROR,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+#: A minimal trace-kind registry for the S001 fixtures; mirrors the
+#: shape of ``src/repro/sim/trace_kinds.py`` (parsed, never imported).
+REGISTRY = '''
+JOB_SKIP = "job_skip"
+KERNEL_DONE = "kernel_done"
+TRACE_KINDS = frozenset({JOB_SKIP, KERNEL_DONE})
+'''
+
+
+def lint_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint the tree."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source).lstrip("\n"))
+    return run_lint([str(tmp_path)], ALL_RULES)
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestD001UnseededRandom:
+    def test_module_level_random_call_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import random
+
+                def jitter():
+                    return random.random() + random.uniform(0.0, 1.0)
+            """},
+        )
+        assert rules_of(findings) == ["D001", "D001"]
+
+    def test_from_import_and_bare_random_instance_fire(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import random
+                from random import choice
+
+                def pick(items):
+                    rng = random.Random()
+                    return choice(items)
+            """},
+        )
+        assert rules_of(findings) == ["D001", "D001"]
+
+    def test_seeded_random_instance_is_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import random
+
+                def stream(seed):
+                    rng = random.Random(seed)
+                    return rng.random()
+            """},
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import random
+
+                def jitter():
+                    return random.random()  # repro: lint-ok[D001] demo only
+            """},
+        )
+        assert findings == []
+
+
+class TestD002WallClock:
+    def test_time_and_datetime_reads_fire(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"sim/mod.py": """
+                import time
+                from datetime import datetime
+
+                def stamp():
+                    return time.time(), datetime.now()
+            """},
+        )
+        assert rules_of(findings) == ["D002", "D002"]
+
+    def test_from_import_perf_counter_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                from time import perf_counter
+
+                def elapsed():
+                    return perf_counter()
+            """},
+        )
+        assert rules_of(findings) == ["D002"]
+
+    def test_allowlisted_module_is_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"repro/exp/daemon.py": """
+                import time
+
+                def poll():
+                    return time.monotonic()
+            """},
+        )
+        assert findings == []
+
+    def test_engine_time_attribute_is_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def now(engine):
+                    return engine.now + engine.time()
+            """},
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import time
+
+                def stamp():
+                    # repro: lint-ok[D002] log decoration only
+                    return time.time()
+            """},
+        )
+        assert findings == []
+
+
+class TestD003IdAsKey:
+    def test_subscript_and_get_key_fire(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def lookup(cache, obj):
+                    cache[id(obj)] = 1
+                    return cache.get(id(obj))
+            """},
+        )
+        assert rules_of(findings) == ["D003", "D003"]
+
+    def test_key_named_assignment_and_tuple_key_fire(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def lookup(cache, obj, index):
+                    cache_key = id(obj)
+                    return cache[(id(obj), index)], cache_key
+            """},
+        )
+        assert rules_of(findings) == ["D003", "D003"]
+
+    def test_non_key_id_uses_are_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def same(a, b):
+                    label = f"obj-{id(a)}"
+                    return id(a) == id(b), label
+            """},
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def lookup(cache, obj):
+                    # repro: lint-ok[D003] obj is pinned by the cache value
+                    cache[id(obj)] = obj
+            """},
+        )
+        assert findings == []
+
+
+class TestD004UnsortedFsEnum:
+    def test_bare_glob_iterdir_listdir_fire(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import os
+
+                def walk(root):
+                    for path in root.glob("*.json"):
+                        yield path
+                    for path in root.iterdir():
+                        yield path
+                    yield from os.listdir(root)
+            """},
+        )
+        assert rules_of(findings) == ["D004", "D004", "D004"]
+
+    def test_sorted_wrapping_is_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import os
+
+                def walk(root):
+                    names = sorted(path.name for path in root.glob("*.json"))
+                    count = len(root.iterdir())
+                    present = set(os.listdir(root))
+                    return names, count, present
+            """},
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def walk(root):
+                    # repro: lint-ok[D004] order re-established downstream
+                    return list(root.iterdir())
+            """},
+        )
+        assert findings == []
+
+
+class TestD005SetIteration:
+    def test_set_literal_comprehension_and_constructor_fire(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def total(values):
+                    acc = 0.0
+                    for v in {1.0, 2.0}:
+                        acc += v
+                    for v in set(values):
+                        acc += v
+                    return acc + sum(x for x in {v * 2 for v in values})
+            """},
+        )
+        assert rules_of(findings) == ["D005", "D005", "D005"]
+
+    def test_list_dict_and_sorted_iteration_are_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def total(values, table):
+                    acc = 0.0
+                    for v in [1.0, 2.0]:
+                        acc += v
+                    for k in table:
+                        acc += table[k]
+                    for v in sorted(set(values)):
+                        acc += v
+                    return acc
+            """},
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                def any_one(values):
+                    # repro: lint-ok[D005] result is order-insensitive
+                    for v in set(values):
+                        return v
+            """},
+        )
+        assert findings == []
+
+
+class TestS001TraceKindLiterals:
+    def test_bare_kind_literal_in_scoped_dirs_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/trace_kinds.py": REGISTRY,
+                "core/emit.py": """
+                    def emit(trace, now):
+                        trace.record(now, "job_skip")
+                """,
+                "gpu/consume.py": """
+                    def is_done(record):
+                        return record.kind == "kernel_done"
+                """,
+            },
+        )
+        assert rules_of(findings) == ["S001", "S001"]
+        assert "JOB_SKIP" in findings[0].message
+        assert "KERNEL_DONE" in findings[1].message
+
+    def test_constant_usage_and_out_of_scope_literals_are_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/trace_kinds.py": REGISTRY,
+                "sim/emit.py": """
+                    from repro.sim.trace_kinds import JOB_SKIP
+
+                    def emit(trace, now):
+                        trace.record(now, JOB_SKIP)
+                """,
+                # analysis/ is outside the S001 scope: literals allowed
+                "analysis/report.py": """
+                    SKIPPED = "job_skip"
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_unregistered_strings_are_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/trace_kinds.py": REGISTRY,
+                "sim/emit.py": """
+                    def emit(trace, now):
+                        trace.record(now, "not_a_registered_kind")
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_without_registry_rule_is_skipped(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"sim/emit.py": """
+                SKIPPED = "job_skip"
+            """},
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/trace_kinds.py": REGISTRY,
+                "sim/emit.py": """
+                    def emit(trace, now):
+                        # repro: lint-ok[S001] golden-file literal kept verbatim
+                        trace.record(now, "job_skip")
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestS002VersionDiscipline:
+    def test_version_bump_without_accept_set_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                RESULT_VERSION = 2
+            """},
+        )
+        assert rules_of(findings) == ["S002"]
+        assert "RESULT_VERSION" in findings[0].message
+
+    def test_accept_set_missing_a_prior_version_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                GRID_FORMAT_VERSION = 3
+                _READABLE_GRID_VERSIONS = (2, GRID_FORMAT_VERSION)
+            """},
+        )
+        assert rules_of(findings) == ["S002"]
+        assert "version 1" in findings[0].message
+
+    def test_covering_accept_set_and_v1_writer_are_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                FORMAT_VERSION = 1
+                RESULT_VERSION = 3
+                _READABLE_RESULT_VERSIONS = (1, 2, RESULT_VERSION)
+            """},
+        )
+        assert findings == []
+
+    def test_two_formats_in_one_module_match_by_token(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                GRID_FORMAT_VERSION = 2
+                TRACE_FORMAT_VERSION = 2
+                _READABLE_GRID_VERSIONS = (1, GRID_FORMAT_VERSION)
+            """},
+        )
+        assert rules_of(findings) == ["S002"]
+        assert "TRACE_FORMAT_VERSION" in findings[0].message
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                # repro: lint-ok[S002] prototype format, no v1 artifacts exist
+                SCRATCH_VERSION = 2
+            """},
+        )
+        assert findings == []
+
+
+class TestT001BenchmarkSlowMarker:
+    def test_unmarked_benchmark_module_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"benchmarks/test_bench_thing.py": """
+                def test_expensive_sweep():
+                    pass
+            """},
+        )
+        assert rules_of(findings) == ["T001"]
+
+    def test_pytestmark_and_decorator_forms_are_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "benchmarks/test_module_marked.py": """
+                    import pytest
+
+                    pytestmark = pytest.mark.slow
+
+                    def test_expensive_sweep():
+                        pass
+                """,
+                "benchmarks/test_per_test_marked.py": """
+                    import pytest
+
+                    def test_fast_golden_smoke():
+                        pass
+
+                    @pytest.mark.slow
+                    def test_expensive_sweep():
+                        pass
+                """,
+                # conftest and non-test helpers carry no contract
+                "benchmarks/conftest.py": """
+                    def helper():
+                        pass
+                """,
+                # test modules outside benchmarks/ carry no contract
+                "tests/test_fast.py": """
+                    def test_quick():
+                        pass
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"benchmarks/test_bench_thing.py": """
+                # repro: lint-ok[T001] module is all fast golden smokes
+                def test_golden():
+                    pass
+            """},
+        )
+        assert findings == []
+
+
+class TestFramework:
+    def test_findings_are_sorted_and_ids_stable(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "b.py": "import random\nx = random.random()\n",
+                "a.py": "import time\ny = time.time()\nz = time.time()\n",
+            },
+        )
+        paths = [f.path for f in findings]
+        assert paths == sorted(paths)
+        assert findings[0].finding_id == f"D002:{findings[0].path}:2:4"
+        assert [f.line for f in findings[:2]] == [2, 3]
+
+    def test_select_and_ignore_filter_rules(self, tmp_path):
+        files = {"mod.py": "import random, time\nx = random.random()\ny = time.time()\n"}
+        for relpath, source in files.items():
+            (tmp_path / relpath).write_text(source)
+        root = str(tmp_path)
+        assert rules_of(run_lint([root], ALL_RULES)) == ["D001", "D002"]
+        assert rules_of(run_lint([root], ALL_RULES, select=["D001"])) == ["D001"]
+        assert rules_of(run_lint([root], ALL_RULES, ignore=["D001"])) == ["D002"]
+        with pytest.raises(ValueError, match="unknown rule id"):
+            run_lint([root], ALL_RULES, select=["D999"])
+
+    def test_pragma_on_line_above_suppresses_only_that_rule(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import random, time
+
+                # repro: lint-ok[D001] demo stream
+                x = random.random()
+                y = time.time()
+            """},
+        )
+        assert rules_of(findings) == ["D002"]
+
+    def test_multi_rule_pragma(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import random, time
+
+                # repro: lint-ok[D001,D002] demo decoration
+                x = random.random() + time.time()
+            """},
+        )
+        assert findings == []
+
+    def test_pragma_does_not_leak_to_other_lines(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"mod.py": """
+                import random
+
+                # repro: lint-ok[D001] only the next line
+                x = random.random()
+
+                y = random.random()
+            """},
+        )
+        assert rules_of(findings) == ["D001"]
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": "def broken(:\n    pass\n"})
+        assert rules_of(findings) == [PARSE_ERROR]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_lint([str(tmp_path / "nope")], ALL_RULES)
+
+    def test_render_json_shape(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": "import time\nx = time.time()\n"})
+        payload = json.loads(render_json(findings))
+        assert payload["version"] == 1
+        assert payload["errors"] == 1
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "D002"
+        assert entry["id"] == f"D002:{entry['path']}:{entry['line']}:{entry['col']}"
+
+    def test_render_text_tally(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": "import time\nx = time.time()\n"})
+        text = render_text(findings)
+        assert "1 finding (1 error)" in text
+        assert render_text([]) == "clean: no lint findings\n"

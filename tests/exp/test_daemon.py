@@ -18,6 +18,7 @@ storage backends, so a whole fleet lifecycle costs milliseconds.
 """
 
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -89,6 +90,23 @@ class TestDiscovery:
         assert discover_runs(runs_root) == ["runA"]
         init_run(run_store(runs_root, "runB"), SPEC_B)
         assert discover_runs(runs_root) == ["runA", "runB"]
+
+    def test_discovery_order_independent_of_creation_order(self, runs_root):
+        """Drain order must not follow filesystem/creation order.
+
+        ``discover_runs`` feeds the fleet's drain loop; on the local
+        backend it globs the runs root, and directory-entry order is
+        whatever the filesystem hands back (often creation order).  Pin
+        the sort: however the run directories came into being, every
+        worker sees the same deterministic run sequence.
+        """
+        names = [f"run{i:02d}" for i in range(8)]
+        shuffled = list(names)
+        random.Random(20240807).shuffle(shuffled)
+        assert shuffled != names  # the scenario must exercise the sort
+        for name in shuffled:
+            init_run(run_store(runs_root, name), SPEC_A)
+        assert discover_runs(runs_root) == names
 
     def test_corrupt_manifest_is_skipped_not_fatal(self, runs_root):
         init_run(run_store(runs_root, "good"), SPEC_A)
